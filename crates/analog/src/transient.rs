@@ -1,0 +1,190 @@
+//! Transient (time-domain) simulation of printed analog nodes.
+//!
+//! The paper validates its prototypes with transient measurements
+//! (Figs. 5, 14, 15). Printed nodes settle as first-order RC systems, so a
+//! forward-Euler integrator over exponential targets reproduces the shape
+//! of those scope traces: step the inputs, watch each node relax toward
+//! its DC solution with its own time constant.
+
+use serde::Serialize;
+
+/// A sampled voltage waveform.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Waveform {
+    /// Sample instants in seconds.
+    pub times: Vec<f64>,
+    /// Node voltage at each instant.
+    pub values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Final settled value (last sample).
+    ///
+    /// # Panics
+    /// Panics if the waveform is empty.
+    pub fn settled(&self) -> f64 {
+        *self.values.last().expect("empty waveform")
+    }
+
+    /// Time at which the waveform first comes within `tolerance` of its
+    /// settled value and stays there.
+    pub fn settling_time(&self, tolerance: f64) -> f64 {
+        let target = self.settled();
+        let mut t = 0.0;
+        for (i, v) in self.values.iter().enumerate() {
+            if (v - target).abs() > tolerance {
+                t = self.times[i];
+            }
+        }
+        t
+    }
+
+    /// Minimum separation between this waveform and another over the
+    /// settled half of the trace — the measured "output margin".
+    pub fn margin_against(&self, other: &Waveform) -> f64 {
+        let half = self.values.len() / 2;
+        self.values[half..]
+            .iter()
+            .zip(&other.values[half..])
+            .map(|(a, b)| (a - b).abs())
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// A piecewise-constant stimulus: `(switch time, level)` segments.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Stimulus {
+    segments: Vec<(f64, f64)>,
+}
+
+impl Stimulus {
+    /// A stimulus holding `level` forever.
+    pub fn constant(level: f64) -> Self {
+        Stimulus { segments: vec![(0.0, level)] }
+    }
+
+    /// A stimulus from `(time, level)` steps; times must be ascending and
+    /// start at zero.
+    ///
+    /// # Panics
+    /// Panics if segments are empty, unordered, or don't start at t = 0.
+    pub fn steps(segments: Vec<(f64, f64)>) -> Self {
+        assert!(!segments.is_empty(), "stimulus needs at least one segment");
+        assert_eq!(segments[0].0, 0.0, "stimulus must start at t = 0");
+        assert!(
+            segments.windows(2).all(|w| w[0].0 < w[1].0),
+            "stimulus switch times must be ascending"
+        );
+        Stimulus { segments }
+    }
+
+    /// Level at time `t`.
+    pub fn level(&self, t: f64) -> f64 {
+        self.segments
+            .iter()
+            .rev()
+            .find(|(start, _)| t >= *start)
+            .map(|(_, v)| *v)
+            .unwrap_or(self.segments[0].1)
+    }
+}
+
+/// Simulates a first-order node whose DC target is a function of the
+/// stimulus levels: `dv/dt = (target(inputs(t)) − v) / tau`.
+///
+/// Returns `samples` points spanning `t_end` seconds.
+///
+/// # Panics
+/// Panics if `tau` or `t_end` is not positive or `samples < 2`.
+pub fn simulate_node(
+    inputs: &[Stimulus],
+    target: impl Fn(&[f64]) -> f64,
+    tau: f64,
+    v0: f64,
+    t_end: f64,
+    samples: usize,
+) -> Waveform {
+    assert!(tau > 0.0 && t_end > 0.0, "tau and t_end must be positive");
+    assert!(samples >= 2, "need at least two samples");
+    let mut times = Vec::with_capacity(samples);
+    let mut values = Vec::with_capacity(samples);
+    let dt = t_end / (samples - 1) as f64;
+    // Sub-step for integration stability.
+    let substeps = ((dt / tau) * 10.0).ceil().max(1.0) as usize;
+    let h = dt / substeps as f64;
+    let mut v = v0;
+    let mut levels = vec![0.0; inputs.len()];
+    for i in 0..samples {
+        let t = i as f64 * dt;
+        times.push(t);
+        values.push(v);
+        for s in 0..substeps {
+            let ts = t + s as f64 * h;
+            for (l, stim) in levels.iter_mut().zip(inputs) {
+                *l = stim.level(ts);
+            }
+            let tgt = target(&levels);
+            v += h * (tgt - v) / tau;
+        }
+    }
+    Waveform { times, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_target_settles_exponentially() {
+        let w = simulate_node(
+            &[Stimulus::constant(1.0)],
+            |l| l[0],
+            1e-3,
+            0.0,
+            10e-3,
+            200,
+        );
+        assert!((w.settled() - 1.0).abs() < 1e-3);
+        // After one tau the node sits near 63%.
+        let idx = w.times.iter().position(|&t| t >= 1e-3).unwrap();
+        assert!((w.values[idx] - 0.632).abs() < 0.05, "got {}", w.values[idx]);
+    }
+
+    #[test]
+    fn step_stimulus_retargets_the_node() {
+        let stim = Stimulus::steps(vec![(0.0, 0.0), (5e-3, 1.0)]);
+        let w = simulate_node(&[stim], |l| l[0], 0.5e-3, 0.0, 15e-3, 300);
+        let before = w.values[w.times.iter().position(|&t| t >= 4.5e-3).unwrap()];
+        assert!(before.abs() < 0.01);
+        assert!((w.settled() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn settling_time_tracks_tau() {
+        let fast = simulate_node(&[Stimulus::constant(1.0)], |l| l[0], 0.2e-3, 0.0, 10e-3, 500);
+        let slow = simulate_node(&[Stimulus::constant(1.0)], |l| l[0], 2e-3, 0.0, 20e-3, 500);
+        assert!(fast.settling_time(0.01) < slow.settling_time(0.01));
+    }
+
+    #[test]
+    fn margin_between_complementary_nodes() {
+        let hi = simulate_node(&[Stimulus::constant(1.0)], |l| l[0], 1e-3, 0.5, 10e-3, 100);
+        let lo = simulate_node(&[Stimulus::constant(0.0)], |l| l[0], 1e-3, 0.5, 10e-3, 100);
+        assert!(hi.margin_against(&lo) > 0.8);
+    }
+
+    #[test]
+    fn stimulus_levels_are_piecewise_constant() {
+        let s = Stimulus::steps(vec![(0.0, 0.2), (1.0, 0.8), (2.0, 0.1)]);
+        assert_eq!(s.level(0.5), 0.2);
+        assert_eq!(s.level(1.0), 0.8);
+        assert_eq!(s.level(1.99), 0.8);
+        assert_eq!(s.level(5.0), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unordered_stimulus_is_rejected() {
+        Stimulus::steps(vec![(0.0, 0.0), (2.0, 1.0), (1.0, 0.5)]);
+    }
+}

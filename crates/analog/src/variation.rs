@@ -1,0 +1,316 @@
+//! Process-variation (mismatch) analysis for analog printed classifiers.
+//!
+//! §VI: in silicon, "noise and mismatch constraints force the analog
+//! devices to be large … In printed technologies, low fabrication costs
+//! allow iterative refinement to fix/reduce noise/mismatch issues."
+//! This module quantifies the starting point of that refinement loop:
+//! Monte-Carlo perturbation of every printed resistance and transistor
+//! law, measuring how classification agreement with the nominal design
+//! degrades as print variation grows.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use ml::quant::{QNode, QuantizedTree};
+
+use crate::device::Egt;
+use crate::tree::{AnalogTree, AnalogTreeConfig};
+
+/// One Monte-Carlo variation trial of an analog tree.
+#[derive(Debug, Clone)]
+struct VariedTree {
+    /// Per-node effective thresholds after perturbation, in node order of
+    /// the quantized tree's split nodes.
+    thresholds: Vec<f64>,
+}
+
+/// Result of a variation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationReport {
+    /// Relative sigma applied to every printed resistance.
+    pub sigma: f64,
+    /// Monte-Carlo trials run.
+    pub trials: usize,
+    /// Mean agreement with the nominal (unperturbed) analog tree across
+    /// trials and evaluation rows.
+    pub mean_agreement: f64,
+    /// Worst single-trial agreement.
+    pub worst_agreement: f64,
+}
+
+/// Runs a Monte-Carlo variation analysis of the analog realization of
+/// `tree`: every node's printed resistor is perturbed by a log-normal
+/// factor with relative sigma `sigma`, and the perturbed circuit is
+/// evaluated on `rows` (quantized feature codes) against the nominal
+/// circuit.
+///
+/// # Panics
+/// Panics if `trials` is zero or `rows` is empty.
+pub fn analyze_tree_variation(
+    tree: &QuantizedTree,
+    rows: &[Vec<u64>],
+    sigma: f64,
+    trials: usize,
+    seed: u64,
+) -> VariationReport {
+    assert!(trials > 0, "need at least one trial");
+    assert!(!rows.is_empty(), "need evaluation rows");
+    let nominal = AnalogTree::from_tree(tree, AnalogTreeConfig::default());
+    let device = Egt::default();
+    let max_code = (1u64 << tree.bits()) - 1;
+
+    // Collect nominal node resistances (same traversal order as predict
+    // uses internally: we re-derive effective thresholds per trial).
+    let splits: Vec<(usize, f64)> = tree
+        .nodes()
+        .iter()
+        .filter_map(|n| match n {
+            QNode::Split { feature, threshold, .. } => {
+                let v = ((*threshold as f64) + 0.5) / max_code as f64;
+                Some((*feature, v.clamp(0.0, 1.0)))
+            }
+            QNode::Leaf { .. } => None,
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut agreements = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        // Perturb each node's resistance; map back to an effective
+        // threshold voltage through the transistor law.
+        let varied = VariedTree {
+            thresholds: splits
+                .iter()
+                .map(|&(_, v)| {
+                    let r_nom = device.resistance(v);
+                    let factor = (rng.gen_range(-1.0f64..1.0) * sigma * 1.7).exp();
+                    let r = (r_nom * factor).clamp(device.r_on, device.r_off);
+                    device.voltage_for_resistance(r)
+                })
+                .collect(),
+        };
+        let mut agree = 0usize;
+        for codes in rows {
+            let nominal_class = nominal.predict(codes);
+            let varied_class = predict_varied(tree, &varied, codes, max_code);
+            agree += (nominal_class == varied_class) as usize;
+        }
+        agreements.push(agree as f64 / rows.len() as f64);
+    }
+    let mean = agreements.iter().sum::<f64>() / trials as f64;
+    let worst = agreements.iter().cloned().fold(f64::INFINITY, f64::min);
+    VariationReport { sigma, trials, mean_agreement: mean, worst_agreement: worst }
+}
+
+/// Walks the tree using the perturbed effective thresholds.
+fn predict_varied(
+    tree: &QuantizedTree,
+    varied: &VariedTree,
+    codes: &[u64],
+    max_code: u64,
+) -> usize {
+    // Map node index -> split ordinal.
+    let mut ordinal = 0usize;
+    let mut split_ordinals = vec![usize::MAX; tree.nodes().len()];
+    for (i, n) in tree.nodes().iter().enumerate() {
+        if matches!(n, QNode::Split { .. }) {
+            split_ordinals[i] = ordinal;
+            ordinal += 1;
+        }
+    }
+    let mut i = 0usize;
+    loop {
+        match &tree.nodes()[i] {
+            QNode::Leaf { class } => return *class,
+            QNode::Split { feature, left, right, .. } => {
+                let v = codes[*feature].min(max_code) as f64 / max_code as f64;
+                let thr = varied.thresholds[split_ordinals[i]];
+                i = if v > thr { *right } else { *left };
+            }
+        }
+    }
+}
+
+/// Sweeps variation sigmas and reports agreement at each — the data
+/// behind a "how much print tolerance can the classifier absorb" plot.
+pub fn variation_sweep(
+    tree: &QuantizedTree,
+    rows: &[Vec<u64>],
+    sigmas: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Vec<VariationReport> {
+    sigmas
+        .iter()
+        .map(|&s| analyze_tree_variation(tree, rows, s, trials, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml::quant::FeatureQuantizer;
+    use ml::synth::Application;
+    use ml::tree::{DecisionTree, TreeParams};
+
+    fn workload() -> (QuantizedTree, Vec<Vec<u64>>) {
+        let data = Application::Har.generate(7);
+        let (train, test) = data.split(0.7, 42);
+        let tree = DecisionTree::fit(&train, TreeParams::with_depth(4));
+        let fq = FeatureQuantizer::fit(&train, 6);
+        let qt = QuantizedTree::from_tree(&tree, &fq);
+        let rows: Vec<Vec<u64>> = test.x.iter().take(100).map(|r| fq.code_row(r)).collect();
+        (qt, rows)
+    }
+
+    #[test]
+    fn zero_variation_agrees_perfectly() {
+        let (qt, rows) = workload();
+        let r = analyze_tree_variation(&qt, &rows, 0.0, 3, 1);
+        assert_eq!(r.mean_agreement, 1.0);
+        assert_eq!(r.worst_agreement, 1.0);
+    }
+
+    #[test]
+    fn agreement_degrades_monotonically_with_sigma() {
+        let (qt, rows) = workload();
+        let sweep = variation_sweep(&qt, &rows, &[0.0, 0.05, 0.2, 0.8], 8, 42);
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[1].mean_agreement <= pair[0].mean_agreement + 0.02,
+                "sigma {} -> {} rose: {} -> {}",
+                pair[0].sigma,
+                pair[1].sigma,
+                pair[0].mean_agreement,
+                pair[1].mean_agreement
+            );
+        }
+        // Small print tolerance barely hurts; huge tolerance visibly does.
+        assert!(sweep[1].mean_agreement > 0.9);
+        assert!(sweep[3].mean_agreement < sweep[0].mean_agreement);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_in_seed() {
+        let (qt, rows) = workload();
+        let a = analyze_tree_variation(&qt, &rows, 0.1, 5, 9);
+        let b = analyze_tree_variation(&qt, &rows, 0.1, 5, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_are_rejected() {
+        let (qt, rows) = workload();
+        analyze_tree_variation(&qt, &rows, 0.1, 0, 1);
+    }
+}
+
+/// Monte-Carlo variation analysis of an analog SVM: the crossbar's printed
+/// resistances are perturbed (log-normal, relative sigma) and the
+/// perturbed engine's predictions are compared with the nominal analog
+/// engine on `rows`.
+///
+/// # Panics
+/// Panics if `trials` is zero or `rows` is empty.
+pub fn analyze_svm_variation(
+    svm: &ml::quant::QuantizedSvm,
+    n_features: usize,
+    rows: &[Vec<u64>],
+    sigma: f64,
+    trials: usize,
+    seed: u64,
+) -> VariationReport {
+    use crate::crossbar::CrossbarColumn;
+    assert!(trials > 0, "need at least one trial");
+    assert!(!rows.is_empty(), "need evaluation rows");
+    let nominal = crate::svm::AnalogSvm::from_svm(svm, n_features);
+    let max_code = (1u64 << svm.bits()) - 1;
+    let boundaries_v: Vec<f64> =
+        svm.boundaries().iter().map(|&b| b as f64 / max_code as f64).collect();
+    let pos_scale: f64 = svm.pos_terms().iter().map(|&(_, m)| m as f64).sum();
+    let neg_scale: f64 = svm.neg_terms().iter().map(|&(_, m)| m as f64).sum();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut agreements = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut perturbed_column = |terms: &[(usize, u64)]| -> Option<CrossbarColumn> {
+            if terms.is_empty() {
+                return None;
+            }
+            let mut weights = vec![0.0; n_features];
+            for &(f, m) in terms {
+                let factor = (rng.gen_range(-1.0f64..1.0) * sigma * 1.7).exp();
+                weights[f] = m as f64 * factor;
+            }
+            Some(CrossbarColumn::program(&weights))
+        };
+        let pos = perturbed_column(svm.pos_terms());
+        let neg = perturbed_column(svm.neg_terms());
+        let mut agree = 0usize;
+        for codes in rows {
+            let volts: Vec<f64> = codes
+                .iter()
+                .map(|&c| c.min(max_code) as f64 / max_code as f64)
+                .collect();
+            let vp = pos.as_ref().map_or(0.0, |c| c.output(&volts));
+            let vn = neg.as_ref().map_or(0.0, |c| c.output(&volts));
+            let d = vp * pos_scale - vn * neg_scale;
+            let varied_class = boundaries_v
+                .iter()
+                .filter(|&&b| d > b)
+                .count()
+                .min(svm.n_classes() - 1);
+            agree += (varied_class == nominal.predict(codes)) as usize;
+        }
+        agreements.push(agree as f64 / rows.len() as f64);
+    }
+    let mean = agreements.iter().sum::<f64>() / trials as f64;
+    let worst = agreements.iter().cloned().fold(f64::INFINITY, f64::min);
+    VariationReport { sigma, trials, mean_agreement: mean, worst_agreement: worst }
+}
+
+#[cfg(test)]
+mod svm_variation_tests {
+    use super::*;
+    use ml::data::Standardizer;
+    use ml::quant::{FeatureQuantizer, QuantizedSvm};
+    use ml::synth::Application;
+    use ml::SvmRegressor;
+
+    fn workload() -> (QuantizedSvm, Vec<Vec<u64>>) {
+        let data = Application::RedWine.generate(7);
+        let (train, test) = data.split(0.7, 42);
+        let s = Standardizer::fit(&train);
+        let (train, test) = (s.transform(&train), s.transform(&test));
+        let svm = SvmRegressor::fit(&train, 150, 1e-4);
+        let fq = FeatureQuantizer::fit(&train, 8);
+        let qs = QuantizedSvm::from_svm(&svm, &fq);
+        let rows: Vec<Vec<u64>> = test.x.iter().take(120).map(|r| fq.code_row(r)).collect();
+        (qs, rows)
+    }
+
+    #[test]
+    fn tiny_variation_barely_moves_svm_decisions() {
+        let (qs, rows) = workload();
+        let r = analyze_svm_variation(&qs, 11, &rows, 0.01, 5, 3);
+        assert!(r.mean_agreement > 0.9, "agreement {}", r.mean_agreement);
+    }
+
+    #[test]
+    fn svm_agreement_degrades_with_sigma() {
+        let (qs, rows) = workload();
+        let small = analyze_svm_variation(&qs, 11, &rows, 0.02, 10, 3);
+        let large = analyze_svm_variation(&qs, 11, &rows, 0.5, 10, 3);
+        assert!(large.mean_agreement < small.mean_agreement + 1e-9,
+            "small {} large {}", small.mean_agreement, large.mean_agreement);
+    }
+
+    #[test]
+    fn svm_variation_is_deterministic() {
+        let (qs, rows) = workload();
+        let a = analyze_svm_variation(&qs, 11, &rows, 0.1, 4, 8);
+        let b = analyze_svm_variation(&qs, 11, &rows, 0.1, 4, 8);
+        assert_eq!(a, b);
+    }
+}

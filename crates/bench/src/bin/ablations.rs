@@ -1,0 +1,10 @@
+//! Runs the ablation studies of DESIGN.md §5 plus the Fig. 18 system-level
+//! roll-up. Pass `--json PATH` to dump machine-readable results.
+
+fn main() {
+    let tables = bench::experiments::ablations();
+    for t in &tables {
+        print!("{t}");
+    }
+    bench::maybe_write_json(&tables);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's fig10 (see DESIGN.md experiment index).
+//! Pass `--json PATH` to also dump machine-readable results.
+
+fn main() {
+    let tables = bench::experiments::fig10();
+    for t in &tables {
+        print!("{t}");
+    }
+    bench::maybe_write_json(&tables);
+}

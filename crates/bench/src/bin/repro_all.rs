@@ -1,0 +1,39 @@
+//! Runs every table and figure regenerator in sequence, printing all
+//! results and optionally dumping a combined JSON (`--json PATH`).
+
+use bench::experiments as e;
+
+/// A named experiment regenerator.
+type Experiment = (&'static str, fn() -> Vec<bench::Table>);
+
+fn main() {
+    let mut all = Vec::new();
+    let experiments: Vec<Experiment> = vec![
+        ("table1", e::table1),
+        ("table2", e::table2),
+        ("table3", e::table3),
+        ("table4", e::table4),
+        ("table5", e::table5),
+        ("fig3", e::fig3),
+        ("fig6", e::fig6),
+        ("fig7", e::fig7),
+        ("fig9", e::fig9),
+        ("fig10", e::fig10),
+        ("fig11", e::fig11),
+        ("fig12", e::fig12),
+        ("fig13", e::fig13),
+        ("fig16", e::fig16),
+        ("fig17", e::fig17),
+        ("fig19", e::fig19),
+        ("ablations", e::ablations),
+    ];
+    for (name, f) in experiments {
+        eprintln!("[repro] running {name} ...");
+        let tables = f();
+        for t in &tables {
+            print!("{t}");
+        }
+        all.extend(tables);
+    }
+    bench::maybe_write_json(&all);
+}

@@ -1,0 +1,9 @@
+//! One regenerator function per table and figure of the paper.
+
+pub mod ablations;
+pub mod figures;
+pub mod tables;
+
+pub use ablations::ablations;
+pub use figures::{fig10, fig11, fig12, fig13, fig16, fig17, fig19, fig3, fig6, fig7, fig9};
+pub use tables::{table1, table2, table3, table4, table5};

@@ -1,0 +1,302 @@
+//! Regenerators for the paper's Tables I–V.
+
+use ml::data::Standardizer;
+use ml::forest::{ForestParams, RandomForest};
+use ml::linear::{LogisticRegression, SvmClassifier, SvmRegressor};
+use ml::metrics::accuracy;
+use ml::mlp::{Mlp, MlpParams};
+use ml::opcount::CountOps;
+use ml::synth::Application;
+use ml::tree::{DecisionTree, TreeParams};
+use netlist::arith::{add, multiply, relu};
+use netlist::builder::NetlistBuilder;
+use netlist::comb::unsigned_gt;
+use netlist::{analyze, Ppa};
+use pdk::{CellLibrary, Technology};
+use printed_core::conventional::parallel_tree::{generate as gen_parallel, ParallelTreeSpec};
+use printed_core::conventional::serial_tree::{
+    generate as gen_serial, SerialTreeProgram, SerialTreeSpec,
+};
+use printed_core::conventional::svm::{generate as gen_svm, SvmSpec};
+
+use crate::workloads::SEED;
+use crate::{fmt3, Table};
+
+fn tech_units(t: Technology) -> (&'static str, &'static str, &'static str) {
+    match t {
+        Technology::Egt => ("ms", "cm2", "mW"),
+        Technology::CntTft => ("us", "mm2", "mW"),
+        Technology::Tsmc40 => ("ns", "um2", "mW"),
+    }
+}
+
+fn scaled(t: Technology, ppa: &Ppa, cycles: usize) -> (f64, f64, f64) {
+    let latency = ppa.latency(cycles);
+    match t {
+        Technology::Egt => (latency.as_ms(), ppa.area.as_cm2(), ppa.power.as_mw()),
+        Technology::CntTft => (latency.as_us(), ppa.area.as_mm2(), ppa.power.as_mw()),
+        Technology::Tsmc40 => (latency.as_ns(), ppa.area.as_um2(), ppa.power.as_mw()),
+    }
+}
+
+/// Table I: PPA of an 8-bit comparator, 8-bit MAC and 8-bit ReLU in each
+/// technology.
+pub fn table1() -> Vec<Table> {
+    let comparator = || {
+        let mut b = NetlistBuilder::new("comparator");
+        let a = b.input("a", 8);
+        let bb = b.input("b", 8);
+        let o = unsigned_gt(&mut b, &a, &bb);
+        b.output("o", &[o]);
+        b.finish()
+    };
+    let mac = || {
+        let mut b = NetlistBuilder::new("mac");
+        let a = b.input("a", 8);
+        let bb = b.input("b", 8);
+        let acc = b.input("acc", 16);
+        let p = multiply(&mut b, &a, &bb);
+        let s = add(&mut b, &p, &acc);
+        b.output("o", &s);
+        b.finish()
+    };
+    let relu8 = || {
+        let mut b = NetlistBuilder::new("relu");
+        let x = b.input("x", 8);
+        let y = relu(&mut b, &x);
+        b.output("y", &y);
+        b.finish()
+    };
+    let mut t = Table::new(
+        "Table I: PPA of common ML operations (measured / paper)",
+        &["component", "tech", "delay", "area", "power", "paper D/A/P"],
+    );
+    type PaperRow = (&'static str, [(f64, f64, f64); 3]);
+    let paper: [PaperRow; 3] = [
+        ("Comparator", [(11.2, 0.15, 0.61), (9.5, 0.21, 8.32), (0.23, 94.0, 0.14)]),
+        ("MAC", [(27.0, 1.12, 4.12), (16.14, 1.4, 57.0), (0.57, 255.0, 0.51)]),
+        ("ReLU", [(2.54, 0.03, 0.14), (1.44, 0.35, 10.0), (0.1, 67.0, 0.46)]),
+    ];
+    for (name, modules) in
+        [("Comparator", comparator()), ("MAC", mac()), ("ReLU", relu8())]
+    {
+        for (ti, tech) in Technology::ALL.into_iter().enumerate() {
+            let lib = CellLibrary::for_technology(tech);
+            let ppa = analyze(&modules, &lib);
+            let (d, a, p) = scaled(tech, &ppa, 1);
+            let (du, au, pu) = tech_units(tech);
+            let reference = paper.iter().find(|r| r.0 == name).unwrap().1[ti];
+            t.row(vec![
+                name.to_string(),
+                tech.to_string(),
+                format!("{} {du}", fmt3(d)),
+                format!("{} {au}", fmt3(a)),
+                format!("{} {pu}", fmt3(p)),
+                format!("{}/{}/{}", fmt3(reference.0), fmt3(reference.1), fmt3(reference.2)),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// Table II: accuracy and op counts of every algorithm on every dataset,
+/// extended with the §III projected EGT implementation cost (op counts x
+/// Table I component costs) that rules the expensive algorithms out.
+pub fn table2() -> Vec<Table> {
+    let costs = printed_core::ComponentCosts::for_technology(Technology::Egt);
+    let mut t = Table::new(
+        "Table II: accuracy (A), op counts (#C, #M) and projected EGT cost",
+        &["dataset", "model", "A", "#C", "#M", "EGT area", "EGT power"],
+    );
+    for app in Application::ALL {
+        let data = app.generate(SEED);
+        let (train, test) = data.split(0.7, 42);
+        let s = Standardizer::fit(&train);
+        let (train, test) = (s.transform(&train), s.transform(&test));
+        let acc = |pred: &mut dyn FnMut(&[f64]) -> usize| {
+            accuracy(test.x.iter().map(|r| pred(r)), test.y.iter().copied())
+        };
+        for depth in [1usize, 2, 4, 8] {
+            let m = DecisionTree::fit(&train, TreeParams::with_depth(depth));
+            let ops = m.op_count();
+            let a = acc(&mut |r| m.predict(r));
+            let est = printed_core::estimate(&ops, &costs);
+                t.row(vec![
+                    app.name().into(),
+                    format!("DT-{depth}"),
+                    fmt3(a),
+                    ops.comparisons.to_string(),
+                    ops.macs.to_string(),
+                    format!("{}", est.area),
+                    format!("{}", est.power),
+                ]);
+        }
+        for n in [2usize, 4, 8] {
+            let m = RandomForest::fit(&train, ForestParams::paper(n));
+            let ops = m.op_count();
+            let a = acc(&mut |r| m.predict(r));
+            let est = printed_core::estimate(&ops, &costs);
+                t.row(vec![
+                    app.name().into(),
+                    format!("RF-{n}"),
+                    fmt3(a),
+                    ops.comparisons.to_string(),
+                    ops.macs.to_string(),
+                    format!("{}", est.area),
+                    format!("{}", est.power),
+                ]);
+        }
+        for (tag, params) in [("MLP-1", MlpParams::mlp1()), ("MLP-3", MlpParams::mlp3())] {
+            let m = Mlp::fit(&train, &params);
+            let ops = m.op_count();
+            let a = acc(&mut |r| m.predict(r));
+            let est = printed_core::estimate(&ops, &costs);
+                t.row(vec![
+                    app.name().into(),
+                    tag.into(),
+                    fmt3(a),
+                    ops.comparisons.to_string(),
+                    ops.macs.to_string(),
+                    format!("{}", est.area),
+                    format!("{}", est.power),
+                ]);
+        }
+        {
+            let m = LogisticRegression::fit(&train, 150, 0.5);
+            let ops = m.op_count();
+            let a = acc(&mut |r| m.predict(r));
+            let est = printed_core::estimate(&ops, &costs);
+                t.row(vec![
+                    app.name().into(),
+                    "LR".into(),
+                    fmt3(a),
+                    ops.comparisons.to_string(),
+                    ops.macs.to_string(),
+                    format!("{}", est.area),
+                    format!("{}", est.power),
+                ]);
+        }
+        {
+            let m = SvmClassifier::fit(&train, 4, 1e-3, SEED);
+            let ops = m.op_count();
+            let a = acc(&mut |r| m.predict(r));
+            let est = printed_core::estimate(&ops, &costs);
+                t.row(vec![
+                    app.name().into(),
+                    "SVM-C".into(),
+                    fmt3(a),
+                    ops.comparisons.to_string(),
+                    ops.macs.to_string(),
+                    format!("{}", est.area),
+                    format!("{}", est.power),
+                ]);
+        }
+        {
+            let m = SvmRegressor::fit(&train, 200, 1e-4);
+            let ops = m.op_count();
+            let a = acc(&mut |r| m.predict(r));
+            let est = printed_core::estimate(&ops, &costs);
+                t.row(vec![
+                    app.name().into(),
+                    "SVM-R".into(),
+                    fmt3(a),
+                    ops.comparisons.to_string(),
+                    ops.macs.to_string(),
+                    format!("{}", est.area),
+                    format!("{}", est.power),
+                ]);
+        }
+    }
+    vec![t]
+}
+
+/// Table III: conventional serial trees at depths 1/2/4/8 in each
+/// technology (logic vs memory split).
+pub fn table3() -> Vec<Table> {
+    let mut t = Table::new(
+        "Table III: conventional serial trees (L = logic, M = memory)",
+        &["tree", "tech", "latency", "area L", "area M", "power L", "power M", "gates"],
+    );
+    for depth in [1usize, 2, 4, 8] {
+        let spec = SerialTreeSpec::conventional(depth);
+        let prog = SerialTreeProgram {
+            threshold_rom: vec![0; 1 << (depth + 1)],
+            class_rom: vec![0; 1 << depth],
+        };
+        let module = gen_serial(&spec, &prog);
+        for tech in Technology::ALL {
+            let lib = CellLibrary::for_technology(tech);
+            let ppa = analyze(&module, &lib);
+            let (du, au, pu) = tech_units(tech);
+            let (d, _, _) = scaled(tech, &ppa, depth);
+            let area_scale = |a: pdk::Area| match tech {
+                Technology::Egt => a.as_cm2(),
+                Technology::CntTft => a.as_mm2(),
+                Technology::Tsmc40 => a.as_um2(),
+            };
+            t.row(vec![
+                format!("DT-{depth}"),
+                tech.to_string(),
+                format!("{} {du}", fmt3(d)),
+                format!("{} {au}", fmt3(area_scale(ppa.logic_area))),
+                format!("{} {au}", fmt3(area_scale(ppa.rom_area))),
+                format!("{} {pu}", fmt3(ppa.logic_power.as_mw())),
+                format!("{} {pu}", fmt3(ppa.rom_power.as_mw())),
+                ppa.gate_count.to_string(),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// Table IV: conventional maximally parallel trees.
+pub fn table4() -> Vec<Table> {
+    let mut t = Table::new(
+        "Table IV: conventional maximally parallel trees",
+        &["tree", "tech", "latency", "area", "power", "gates"],
+    );
+    for depth in [1usize, 2, 4, 8] {
+        let module = gen_parallel(&ParallelTreeSpec::conventional(depth));
+        for tech in Technology::ALL {
+            let lib = CellLibrary::for_technology(tech);
+            let ppa = analyze(&module, &lib);
+            let (d, a, p) = scaled(tech, &ppa, 1);
+            let (du, au, pu) = tech_units(tech);
+            t.row(vec![
+                format!("DT-{depth}"),
+                tech.to_string(),
+                format!("{} {du}", fmt3(d)),
+                format!("{} {au}", fmt3(a)),
+                format!("{} {pu}", fmt3(p)),
+                ppa.gate_count.to_string(),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// Table V: conventional SVM engines at 4/8/12/16-bit widths.
+pub fn table5() -> Vec<Table> {
+    let mut t = Table::new(
+        "Table V: conventional SVMs (263 features)",
+        &["svm", "tech", "latency", "area", "power", "gates"],
+    );
+    for width in [4usize, 8, 12, 16] {
+        let module = gen_svm(&SvmSpec::conventional(width));
+        for tech in Technology::ALL {
+            let lib = CellLibrary::for_technology(tech);
+            let ppa = analyze(&module, &lib);
+            let (d, a, p) = scaled(tech, &ppa, 1);
+            let (du, au, pu) = tech_units(tech);
+            t.row(vec![
+                format!("SVM-{width}"),
+                tech.to_string(),
+                format!("{} {du}", fmt3(d)),
+                format!("{} {au}", fmt3(a)),
+                format!("{} {pu}", fmt3(p)),
+                ppa.gate_count.to_string(),
+            ]);
+        }
+    }
+    vec![t]
+}

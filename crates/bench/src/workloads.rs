@@ -1,0 +1,45 @@
+//! Shared workload construction for the table/figure binaries.
+
+use ml::synth::Application;
+use printed_core::flow::{SvmFlow, TreeFlow};
+
+/// The seed every reproduction run uses (deterministic results).
+pub const SEED: u64 = 7;
+
+/// Tree depths swept by the paper (DT-1/2/4/8).
+pub const DEPTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Builds tree workloads for every benchmark dataset at `depth`.
+pub fn tree_flows(depth: usize) -> Vec<TreeFlow> {
+    Application::ALL.iter().map(|&app| TreeFlow::new(app, depth, SEED)).collect()
+}
+
+/// Builds SVM workloads for every benchmark dataset.
+pub fn svm_flows() -> Vec<SvmFlow> {
+    Application::ALL.iter().map(|&app| SvmFlow::new(app, SEED)).collect()
+}
+
+/// A fast subset (used by Criterion benches to keep wall time sane):
+/// one easy, one hard, one ordinal dataset.
+pub fn quick_apps() -> [Application; 3] {
+    [Application::Har, Application::Cardio, Application::RedWine]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_apps_are_distinct() {
+        let a = quick_apps();
+        assert_ne!(a[0], a[1]);
+        assert_ne!(a[1], a[2]);
+    }
+
+    #[test]
+    fn tree_flows_cover_all_applications() {
+        let flows = tree_flows(1);
+        assert_eq!(flows.len(), 7);
+        assert!(flows.iter().all(|f| f.depth == 1));
+    }
+}

@@ -1,0 +1,15 @@
+//! Bespoke (per-model hardwired) classifier architectures (§IV).
+//!
+//! Printing's negligible NRE — no masks, no lithography, sub-cent marginal
+//! cost on a desktop materials printer — makes it economical to fabricate
+//! a *different circuit for every trained model*. These generators bake
+//! the trained parameters into the logic and let
+//! [`netlist::optimize`] collapse what the constants imply.
+
+pub mod parallel_tree;
+pub mod serial_tree;
+pub mod svm;
+
+pub use parallel_tree::bespoke_parallel;
+pub use serial_tree::{bespoke_serial, bespoke_spec};
+pub use svm::bespoke_svm;

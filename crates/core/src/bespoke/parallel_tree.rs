@@ -1,0 +1,157 @@
+//! Bespoke maximally parallel decision trees (§IV-A, Fig. 4b, Fig. 7).
+//!
+//! The trained thresholds are hardwired as constants into the node
+//! comparators and the class labels as constants into the selection tree,
+//! the threshold/feature registers are deleted (inputs connect straight to
+//! their feature ports), and logic optimization collapses everything the
+//! constants imply. This is the architecture behind the paper's headline:
+//! 48.9× lower area and 75.6× lower power than conventional parallel
+//! trees in EGT, and — unlike the conventional case — *strictly better*
+//! than its serial sibling.
+
+use ml::quant::{QNode, QuantizedTree};
+use netlist::builder::NetlistBuilder;
+use netlist::comb::unsigned_gt;
+use netlist::ir::{Module, Signal};
+use netlist::optimize;
+
+fn ceil_log2(n: usize) -> usize {
+    if n <= 2 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// Generates the bespoke parallel tree for `tree` (post-optimization).
+///
+/// Ports: `f{slot}` for each *used* feature (slot order =
+/// [`QuantizedTree::used_features`] order) and the `class` output.
+pub fn bespoke_parallel(tree: &QuantizedTree) -> Module {
+    let mut b = NetlistBuilder::new("bespoke_parallel_tree");
+    let used = tree.used_features();
+    let feature_ports: Vec<Vec<Signal>> =
+        used.iter().enumerate().map(|(slot, _)| b.input(format!("f{slot}"), tree.bits())).collect();
+    let slot_of = |feature: usize| used.iter().position(|&f| f == feature).expect("used feature");
+    let class_bits = ceil_log2(tree.n_classes());
+
+    fn emit(
+        b: &mut NetlistBuilder,
+        tree: &QuantizedTree,
+        node: usize,
+        feature_ports: &[Vec<Signal>],
+        slot_of: &dyn Fn(usize) -> usize,
+        class_bits: usize,
+    ) -> Vec<Signal> {
+        match &tree.nodes()[node] {
+            QNode::Leaf { class } => b.const_word(*class as u64, class_bits),
+            QNode::Split { feature, threshold, left, right } => {
+                let x = &feature_ports[slot_of(*feature)];
+                let tau = b.const_word(*threshold, x.len());
+                b.push_region("compare");
+                let r = unsigned_gt(b, x, &tau);
+                b.pop_region();
+                let l = emit(b, tree, *left, feature_ports, slot_of, class_bits);
+                let rgt = emit(b, tree, *right, feature_ports, slot_of, class_bits);
+                b.push_region("select");
+                let out = b.mux_word(r, &l, &rgt);
+                b.pop_region();
+                out
+            }
+        }
+    }
+    let class = emit(&mut b, tree, 0, &feature_ports, &slot_of, class_bits);
+    b.output("class", &class);
+    optimize(&b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conventional::parallel_tree::{generate as gen_conv, ParallelTreeSpec};
+    use ml::quant::FeatureQuantizer;
+    use ml::synth::Application;
+    use ml::tree::{DecisionTree, TreeParams};
+    use netlist::analyze;
+    use netlist::sim::Simulator;
+    use pdk::{CellLibrary, Technology};
+
+    fn setup(app: Application, depth: usize, bits: usize) -> (QuantizedTree, FeatureQuantizer, ml::Dataset) {
+        let data = app.generate(7);
+        let (train, test) = data.split(0.7, 42);
+        let tree = DecisionTree::fit(&train, TreeParams::with_depth(depth));
+        let fq = FeatureQuantizer::fit(&train, bits);
+        (QuantizedTree::from_tree(&tree, &fq), fq, test)
+    }
+
+    fn check_equivalence(app: Application, depth: usize, bits: usize, samples: usize) {
+        let (qt, fq, test) = setup(app, depth, bits);
+        let module = bespoke_parallel(&qt);
+        let mut sim = Simulator::new(&module);
+        let used = qt.used_features();
+        for row in test.x.iter().take(samples) {
+            let codes = fq.code_row(row);
+            for (slot, &f) in used.iter().enumerate() {
+                sim.set(&format!("f{slot}"), codes[f]);
+            }
+            sim.settle();
+            assert_eq!(sim.get("class") as usize, qt.predict(&codes));
+        }
+    }
+
+    #[test]
+    fn bespoke_parallel_matches_software_tree() {
+        check_equivalence(Application::Cardio, 4, 8, 150);
+        check_equivalence(Application::Pendigits, 6, 8, 100);
+        check_equivalence(Application::Har, 4, 4, 100);
+    }
+
+    #[test]
+    fn bespoke_parallel_crushes_conventional_parallel() {
+        // Fig. 7: the EGT averages are 3.9× delay, 48.9× area, 75.6×
+        // power. Check we land in the right decade for one benchmark.
+        let lib = CellLibrary::for_technology(Technology::Egt);
+        let (qt, _, _) = setup(Application::Cardio, 4, 8);
+        let conv = analyze(&gen_conv(&ParallelTreeSpec::conventional(4)), &lib);
+        let besp = analyze(&bespoke_parallel(&qt), &lib);
+        let area_x = conv.area.ratio(besp.area);
+        let power_x = conv.power.ratio(besp.power);
+        let delay_x = conv.delay.ratio(besp.delay);
+        assert!(area_x > 10.0, "area improvement only {area_x}x");
+        assert!(power_x > 15.0, "power improvement only {power_x}x");
+        assert!(delay_x > 1.0, "delay improvement only {delay_x}x");
+    }
+
+    #[test]
+    fn bespoke_parallel_beats_bespoke_serial_strictly() {
+        // §IV-A: "unlike conventional counterparts, parallel bespoke trees
+        // are strictly better than serial bespoke trees" (serial pays ROM
+        // + mux + multi-cycle latency; parallel folds everything).
+        let lib = CellLibrary::for_technology(Technology::Egt);
+        let (qt, _, _) = setup(Application::Pendigits, 4, 8);
+        let par = analyze(&bespoke_parallel(&qt), &lib);
+        let (spec, serial) = crate::bespoke::serial_tree::bespoke_serial(&qt);
+        let ser = analyze(&serial, &lib);
+        assert!(par.area < ser.area);
+        assert!(par.power < ser.power);
+        assert!(par.latency(1) < ser.latency(spec.depth));
+    }
+
+    #[test]
+    fn no_registers_survive() {
+        let (qt, _, _) = setup(Application::GasId, 4, 8);
+        let module = bespoke_parallel(&qt);
+        assert_eq!(module.dff_count(), 0);
+        assert!(module.is_combinational());
+    }
+
+    #[test]
+    fn single_leaf_tree_reduces_to_constants() {
+        let data = Application::Har.generate(7);
+        let tree = DecisionTree::fit(&data, TreeParams::with_depth(0));
+        let fq = FeatureQuantizer::fit(&data, 8);
+        let qt = QuantizedTree::from_tree(&tree, &fq);
+        let module = bespoke_parallel(&qt);
+        assert_eq!(module.gate_count(), 0);
+    }
+}

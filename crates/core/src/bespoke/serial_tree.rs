@@ -1,0 +1,138 @@
+//! Bespoke serial decision trees (§IV-A, Fig. 4a, Fig. 6).
+//!
+//! The serial engine re-dimensioned around one trained model: the input
+//! mux shrinks to the features the tree actually tests, the shift register
+//! to the tree's true depth, threshold ROM entries to the widest trained
+//! threshold, and the class ROM to the real class count. The datapath
+//! width comes from the per-application bit-width search (§IV-A picks the
+//! narrowest of 4/8/12/16 that preserves accuracy).
+
+use ml::quant::QuantizedTree;
+use netlist::ir::Module;
+use netlist::optimize;
+use pdk::rom::RomStyle;
+
+use crate::conventional::serial_tree::{generate, program, SerialTreeSpec};
+
+/// Derives the bespoke engine dimensions for a trained tree.
+pub fn bespoke_spec(tree: &QuantizedTree) -> SerialTreeSpec {
+    let (splits, _) = tree.heap_layout();
+    let max_tau = splits.iter().map(|s| s.2).max().unwrap_or(0);
+    let tau_bits = (64 - max_tau.leading_zeros() as usize).max(1).min(tree.bits());
+    SerialTreeSpec {
+        depth: tree.depth().max(1),
+        width: tree.bits(),
+        n_features: tree.used_features().len().max(1),
+        class_bits: ceil_log2(tree.n_classes()),
+        tau_bits,
+        input_registers: false,
+        rom_style: RomStyle::Crossbar,
+    }
+}
+
+fn ceil_log2(n: usize) -> usize {
+    if n <= 2 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// Generates the bespoke serial engine for `tree` and runs logic
+/// optimization over it.
+pub fn bespoke_serial(tree: &QuantizedTree) -> (SerialTreeSpec, Module) {
+    let spec = bespoke_spec(tree);
+    let prog = program(tree, &spec);
+    let module = optimize(&generate(&spec, &prog));
+    (spec, module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conventional::serial_tree::SerialTreeSpec as Spec;
+    use ml::quant::FeatureQuantizer;
+    use ml::synth::Application;
+    use ml::tree::{DecisionTree, TreeParams};
+    use netlist::analyze;
+    use netlist::sim::Simulator;
+    use pdk::{CellLibrary, Technology};
+
+    fn setup(app: Application, depth: usize, bits: usize) -> (QuantizedTree, FeatureQuantizer, ml::Dataset) {
+        let data = app.generate(7);
+        let (train, test) = data.split(0.7, 42);
+        let tree = DecisionTree::fit(&train, TreeParams::with_depth(depth));
+        let fq = FeatureQuantizer::fit(&train, bits);
+        (QuantizedTree::from_tree(&tree, &fq), fq, test)
+    }
+
+    #[test]
+    fn bespoke_serial_matches_software_tree() {
+        let (qt, fq, test) = setup(Application::RedWine, 4, 8);
+        let (spec, module) = bespoke_serial(&qt);
+        let mut sim = Simulator::new(&module);
+        let used = qt.used_features();
+        for row in test.x.iter().take(120) {
+            let codes = fq.code_row(row);
+            sim.reset();
+            for (slot, &f) in used.iter().enumerate() {
+                sim.set(&format!("f{slot}"), codes[f]);
+            }
+            for _ in 0..spec.depth {
+                sim.step();
+            }
+            sim.settle();
+            assert_eq!(sim.get("class") as usize, qt.predict(&codes));
+        }
+    }
+
+    #[test]
+    fn bespoke_serial_is_cheaper_than_conventional_serial() {
+        // Fig. 6: ~37% area and ~22% power improvement on average in EGT.
+        let lib = CellLibrary::for_technology(Technology::Egt);
+        let (qt, _, _) = setup(Application::Cardio, 4, 8);
+        let conv_spec = Spec::conventional(4);
+        let conv = analyze(
+            &crate::conventional::serial_tree::generate(
+                &conv_spec,
+                &crate::conventional::serial_tree::program(&qt, &conv_spec),
+            ),
+            &lib,
+        );
+        let (_, module) = bespoke_serial(&qt);
+        let besp = analyze(&module, &lib);
+        assert!(besp.area < conv.area, "bespoke {} vs conv {}", besp.area, conv.area);
+        assert!(besp.power < conv.power);
+    }
+
+    #[test]
+    fn spec_shrinks_to_the_model() {
+        let (qt, _, _) = setup(Application::Har, 4, 8);
+        let spec = bespoke_spec(&qt);
+        assert_eq!(spec.depth, qt.depth());
+        assert_eq!(spec.n_features, qt.used_features().len());
+        assert!(spec.class_bits <= 3); // 5 classes
+        assert!(spec.tau_bits <= 8);
+    }
+
+    #[test]
+    fn narrow_width_trees_build_and_verify() {
+        let (qt, fq, test) = setup(Application::Har, 2, 4);
+        let (spec, module) = bespoke_serial(&qt);
+        assert_eq!(spec.width, 4);
+        let mut sim = Simulator::new(&module);
+        let used = qt.used_features();
+        for row in test.x.iter().take(60) {
+            let codes = fq.code_row(row);
+            sim.reset();
+            for (slot, &f) in used.iter().enumerate() {
+                sim.set(&format!("f{slot}"), codes[f]);
+            }
+            for _ in 0..spec.depth {
+                sim.step();
+            }
+            sim.settle();
+            assert_eq!(sim.get("class") as usize, qt.predict(&codes));
+        }
+    }
+}

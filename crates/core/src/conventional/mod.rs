@@ -1,0 +1,16 @@
+//! Conventional (general-purpose) classifier architectures.
+//!
+//! These are the §III-A baselines of Tables III–V: engines sized for a
+//! *shape* (tree depth, feature count, bit width) whose trained model is
+//! loaded as data — ROM contents for the serial tree, register contents
+//! for the parallel tree and the SVM. Nothing about the trained model is
+//! baked into the logic, which is precisely why they are so much more
+//! expensive than the bespoke designs of [`crate::bespoke`].
+
+pub mod parallel_tree;
+pub mod serial_tree;
+pub mod svm;
+
+pub use parallel_tree::ParallelTreeSpec;
+pub use serial_tree::{program, SerialTreeProgram, SerialTreeSpec};
+pub use svm::SvmSpec;

@@ -1,0 +1,332 @@
+//! Bespoke random-forest engines.
+//!
+//! §III: "Decision Trees are the kernel of a Random Forest ensemble; any
+//! optimization for Decision Trees is a natural optimization for Random
+//! Forests." This module composes the bespoke parallel tree generator into
+//! a full ensemble engine: every member tree evaluates concurrently, a
+//! per-class one-hot vote counter tallies the outputs, and an
+//! ascending-scan argmax picks the majority class (ties to the lowest
+//! class index, matching [`ml::quant::QuantizedForest::predict`]).
+
+use std::collections::HashMap;
+
+use ml::quant::{QNode, QuantizedForest, QuantizedTree};
+use netlist::builder::NetlistBuilder;
+use netlist::comb::{equals, unsigned_gt};
+use netlist::ir::{Module, Signal};
+use netlist::optimize;
+
+use crate::conventional::svm::popcount;
+use crate::lookup::{emit_lut, LookupConfig};
+
+fn ceil_log2(n: usize) -> usize {
+    if n <= 2 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// Emits one bespoke tree's class word (shared with the parallel-tree
+/// generator's structure, but against a shared feature-port map).
+fn emit_tree(
+    b: &mut NetlistBuilder,
+    tree: &QuantizedTree,
+    node: usize,
+    ports: &std::collections::HashMap<usize, Vec<Signal>>,
+    class_bits: usize,
+) -> Vec<Signal> {
+    match &tree.nodes()[node] {
+        QNode::Leaf { class } => b.const_word(*class as u64, class_bits),
+        QNode::Split { feature, threshold, left, right } => {
+            let x = ports[feature].clone();
+            let tau = b.const_word(*threshold, x.len());
+            let r = unsigned_gt(b, &x, &tau);
+            let l = emit_tree(b, tree, *left, ports, class_bits);
+            let rgt = emit_tree(b, tree, *right, ports, class_bits);
+            b.mux_word(r, &l, &rgt)
+        }
+    }
+}
+
+/// Comparator implementation of a forest engine's decision nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ForestStyle {
+    /// Hardwired per-node comparators (the bespoke tree's style).
+    Bespoke,
+    /// Shared-decoder lookup tables. An ensemble shares decoders across
+    /// *all* member trees testing a feature — strictly more reuse than a
+    /// single tree gets, so "any optimization for Decision Trees is a
+    /// natural optimization for Random Forests" (§III) compounds.
+    Lookup(LookupConfig),
+}
+
+/// Generates a bespoke parallel random-forest engine (post-optimization).
+///
+/// Ports: `f{feature}` for every feature any member tree tests (original
+/// feature indices), plus the `class` output and per-class vote counts
+/// `votes{c}` for observability.
+pub fn bespoke_forest(forest: &QuantizedForest) -> Module {
+    forest_engine(forest, ForestStyle::Bespoke)
+}
+
+/// Generates a random-forest engine with the chosen comparator style.
+pub fn forest_engine(forest: &QuantizedForest, style: ForestStyle) -> Module {
+    let mut b = NetlistBuilder::new(match style {
+        ForestStyle::Bespoke => "bespoke_forest",
+        ForestStyle::Lookup(_) => "lookup_forest",
+    });
+    let class_bits = ceil_log2(forest.n_classes());
+    let ports: std::collections::HashMap<usize, Vec<Signal>> = forest
+        .used_features()
+        .into_iter()
+        .map(|f| {
+            let port = b.input(format!("f{f}"), forest.bits());
+            (f, port)
+        })
+        .collect();
+
+    // Every tree evaluates concurrently.
+    b.push_region("trees");
+    let tree_classes: Vec<Vec<Signal>> = match style {
+        ForestStyle::Bespoke => forest
+            .trees()
+            .iter()
+            .map(|t| emit_tree(&mut b, t, 0, &ports, class_bits))
+            .collect(),
+        ForestStyle::Lookup(config) => {
+            // Cross-tree decoder sharing: one LUT per feature covering the
+            // thresholds of EVERY member tree.
+            let words = 1usize << forest.bits();
+            let mut groups: HashMap<usize, Vec<(usize, usize, u64)>> = HashMap::new();
+            for (ti, tree) in forest.trees().iter().enumerate() {
+                for (ni, node) in tree.nodes().iter().enumerate() {
+                    if let QNode::Split { feature, threshold, .. } = node {
+                        groups.entry(*feature).or_default().push((ti, ni, *threshold));
+                    }
+                }
+            }
+            let mut decision: HashMap<(usize, usize), Signal> = HashMap::new();
+            let mut features: Vec<_> = groups.into_iter().collect();
+            features.sort_by_key(|(f, _)| *f);
+            for (feature, nodes) in features {
+                // A ROM word carries at most 64 columns; very popular
+                // features split across multiple LUTs (each chunk still
+                // shares one decoder).
+                for chunk in nodes.chunks(64) {
+                    let contents: Vec<u64> = (0..words as u64)
+                        .map(|code| {
+                            chunk.iter().enumerate().fold(0u64, |acc, (j, &(_, _, tau))| {
+                                acc | (((code > tau) as u64) << j)
+                            })
+                        })
+                        .collect();
+                    let outs =
+                        emit_lut(&mut b, &ports[&feature], &contents, chunk.len(), config);
+                    for (j, &(ti, ni, _)) in chunk.iter().enumerate() {
+                        decision.insert((ti, ni), outs[j]);
+                    }
+                }
+            }
+            fn emit_lookup_tree(
+                b: &mut NetlistBuilder,
+                tree: &QuantizedTree,
+                ti: usize,
+                node: usize,
+                decision: &HashMap<(usize, usize), Signal>,
+                class_bits: usize,
+            ) -> Vec<Signal> {
+                match &tree.nodes()[node] {
+                    QNode::Leaf { class } => b.const_word(*class as u64, class_bits),
+                    QNode::Split { left, right, .. } => {
+                        let r = decision[&(ti, node)];
+                        let l = emit_lookup_tree(b, tree, ti, *left, decision, class_bits);
+                        let rg = emit_lookup_tree(b, tree, ti, *right, decision, class_bits);
+                        b.mux_word(r, &l, &rg)
+                    }
+                }
+            }
+            forest
+                .trees()
+                .iter()
+                .enumerate()
+                .map(|(ti, t)| emit_lookup_tree(&mut b, t, ti, 0, &decision, class_bits))
+                .collect()
+        }
+    };
+    b.pop_region();
+
+    // Vote counters: per class, match each tree's output against the
+    // constant class code and count.
+    let vote_bits = ceil_log2(forest.trees().len() + 1);
+    b.push_region("votes");
+    let mut counts: Vec<Vec<Signal>> = Vec::with_capacity(forest.n_classes());
+    for c in 0..forest.n_classes() {
+        let code = b.const_word(c as u64, class_bits);
+        let matches: Vec<Signal> =
+            tree_classes.iter().map(|tc| equals(&mut b, tc, &code)).collect();
+        let mut count = popcount(&mut b, &matches);
+        count.resize(vote_bits.max(count.len()), Signal::ZERO);
+        counts.push(count);
+    }
+    b.pop_region();
+
+    // Ascending-scan argmax: strict greater-than keeps the lowest index on
+    // ties.
+    b.push_region("argmax");
+    let mut best_count = counts[0].clone();
+    let mut best_class = b.const_word(0, class_bits);
+    for (c, count) in counts.iter().enumerate().skip(1) {
+        let wider = count.len().max(best_count.len());
+        let mut a = count.clone();
+        a.resize(wider, Signal::ZERO);
+        let mut bb = best_count.clone();
+        bb.resize(wider, Signal::ZERO);
+        let gt = unsigned_gt(&mut b, &a, &bb);
+        let candidate = b.const_word(c as u64, class_bits);
+        best_class = b.mux_word(gt, &best_class, &candidate);
+        best_count = b.mux_word(gt, &bb, &a);
+    }
+    b.pop_region();
+
+    for (c, count) in counts.iter().enumerate() {
+        b.output(format!("votes{c}"), count);
+    }
+    b.output("class", &best_class);
+    optimize(&b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml::forest::{ForestParams, RandomForest};
+    use ml::quant::FeatureQuantizer;
+    use ml::synth::Application;
+    use netlist::analyze;
+    use netlist::sim::Simulator;
+    use pdk::{CellLibrary, Technology};
+
+    fn setup(app: Application, n_trees: usize, bits: usize) -> (QuantizedForest, FeatureQuantizer, ml::Dataset) {
+        let data = app.generate(7);
+        let (train, test) = data.split(0.7, 42);
+        let forest = RandomForest::fit(&train, ForestParams::paper(n_trees));
+        let fq = FeatureQuantizer::fit(&train, bits);
+        (QuantizedForest::from_forest(&forest, &fq), fq, test)
+    }
+
+    #[test]
+    fn forest_engine_matches_software_forest() {
+        let (qf, fq, test) = setup(Application::Cardio, 4, 8);
+        let module = bespoke_forest(&qf);
+        let mut sim = Simulator::new(&module);
+        for row in test.x.iter().take(80) {
+            let codes = fq.code_row(row);
+            for &f in &qf.used_features() {
+                sim.set(&format!("f{f}"), codes[f]);
+            }
+            sim.settle();
+            assert_eq!(sim.get("class") as usize, qf.predict(&codes));
+        }
+    }
+
+    #[test]
+    fn vote_counts_are_observable_and_sum_to_tree_count() {
+        let (qf, fq, test) = setup(Application::Har, 4, 4);
+        let module = bespoke_forest(&qf);
+        let mut sim = Simulator::new(&module);
+        for row in test.x.iter().take(40) {
+            let codes = fq.code_row(row);
+            for &f in &qf.used_features() {
+                sim.set(&format!("f{f}"), codes[f]);
+            }
+            sim.settle();
+            let total: u64 = (0..qf.n_classes()).map(|c| sim.get(&format!("votes{c}"))).sum();
+            assert_eq!(total, qf.trees().len() as u64);
+        }
+    }
+
+    #[test]
+    fn forest_cost_scales_roughly_with_tree_count() {
+        // §III's accuracy/cost dial: more estimators, more area.
+        let lib = CellLibrary::for_technology(Technology::Egt);
+        let (qf2, _, _) = setup(Application::Pendigits, 2, 8);
+        let (qf8, _, _) = setup(Application::Pendigits, 8, 8);
+        let a2 = analyze(&bespoke_forest(&qf2), &lib);
+        let a8 = analyze(&bespoke_forest(&qf8), &lib);
+        assert!(a8.area.ratio(a2.area) > 2.0, "{} vs {}", a8.area, a2.area);
+        assert!(a8.power.ratio(a2.power) > 2.0);
+    }
+
+    #[test]
+    fn forest_is_combinational_and_register_free() {
+        let (qf, _, _) = setup(Application::RedWine, 2, 8);
+        let module = bespoke_forest(&qf);
+        assert!(module.is_combinational());
+        assert_eq!(module.dff_count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod lookup_forest_tests {
+    use super::*;
+    use ml::forest::{ForestParams, RandomForest};
+    use ml::quant::FeatureQuantizer;
+    use ml::synth::Application;
+    use ml::tree::TreeParams;
+    use netlist::analyze;
+    use netlist::sim::Simulator;
+    use pdk::{CellLibrary, Technology};
+
+    fn deep_forest(bits: usize) -> (QuantizedForest, FeatureQuantizer, ml::Dataset) {
+        let data = Application::Pendigits.generate(7);
+        let (train, test) = data.split(0.7, 42);
+        let forest = RandomForest::fit(
+            &train,
+            ForestParams { n_trees: 4, tree: TreeParams::with_depth(8), seed: 7 },
+        );
+        let fq = FeatureQuantizer::fit(&train, bits);
+        (QuantizedForest::from_forest(&forest, &fq), fq, test)
+    }
+
+    #[test]
+    fn lookup_forest_matches_software_forest() {
+        let (qf, fq, test) = deep_forest(4);
+        let module = forest_engine(&qf, ForestStyle::Lookup(LookupConfig::optimized()));
+        let mut sim = Simulator::new(&module);
+        for row in test.x.iter().take(60) {
+            let codes = fq.code_row(row);
+            for &f in &qf.used_features() {
+                sim.set(&format!("f{f}"), codes[f]);
+            }
+            sim.settle();
+            assert_eq!(sim.get("class") as usize, qf.predict(&codes));
+        }
+    }
+
+    #[test]
+    fn ensembles_amortize_decoders_better_than_single_trees() {
+        // Cross-tree sharing: the lookup forest's ROM overhead per
+        // comparison is lower than a single lookup tree's, so the
+        // lookup-vs-bespoke ratio improves with ensemble size.
+        let lib = CellLibrary::for_technology(Technology::Egt);
+        let (qf, _, _) = deep_forest(4);
+        let bespoke = analyze(&forest_engine(&qf, ForestStyle::Bespoke), &lib);
+        let lookup = analyze(
+            &forest_engine(&qf, ForestStyle::Lookup(LookupConfig::optimized())),
+            &lib,
+        );
+        let forest_gain = bespoke.area.ratio(lookup.area);
+        // Single-tree comparison on the first member.
+        let single = qf.trees()[0].clone();
+        let single_bespoke = analyze(&crate::bespoke::bespoke_parallel(&single), &lib);
+        let single_lookup = analyze(
+            &crate::lookup::lookup_parallel(&single, LookupConfig::optimized()),
+            &lib,
+        );
+        let single_gain = single_bespoke.area.ratio(single_lookup.area);
+        assert!(
+            forest_gain > single_gain,
+            "forest gain {forest_gain} should exceed single-tree gain {single_gain}"
+        );
+    }
+}

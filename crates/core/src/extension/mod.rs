@@ -1,0 +1,10 @@
+//! Design-space extensions beyond the paper's evaluated architectures.
+//!
+//! The paper evaluates serial and parallel trees but only parallel SVMs;
+//! [`serial_svm()`] fills in the missing quadrant (one time-multiplexed MAC,
+//! a coefficient ROM and two accumulators) so the work-efficiency /
+//! latency tradeoff can be studied on SVM workloads too.
+
+pub mod serial_svm;
+
+pub use serial_svm::{serial_svm, SerialSvmInfo};

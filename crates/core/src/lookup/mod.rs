@@ -1,0 +1,146 @@
+//! Lookup-based classifier architectures (§V, Figs. 8–13).
+//!
+//! EGT crossbar ROM bits are cheaper than logic (0.05 mm² / 3.13 µW vs a
+//! 0.22 mm² / 9.6 µW inverter), so computations whose inputs repeat —
+//! comparisons against many thresholds of one feature, multiplications of
+//! one feature by a constant — can profitably move into lookup tables, as
+//! long as the expensive address decoder is *shared*.
+//!
+//! Two printing-specific ROM optimizations (§V-A) are modeled exactly:
+//!
+//! 1. **Constant-column elimination** — LUT output bits that are identical
+//!    across every word are deleted from the array and hardwired, letting
+//!    downstream logic fold;
+//! 2. **Bespoke dot-resistor arrays** — set bits are printed dots, clear
+//!    bits simply aren't printed and cost nothing.
+
+pub mod svm;
+pub mod tree;
+
+pub use svm::lookup_svm;
+pub use tree::lookup_parallel;
+
+use netlist::builder::NetlistBuilder;
+use netlist::ir::Signal;
+use pdk::rom::RomStyle;
+
+/// Knobs of the lookup generators, mirroring Fig. 9/10 and Fig. 12/13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupConfig {
+    /// Apply constant-column elimination.
+    pub eliminate_constant_columns: bool,
+    /// Print the data array as bespoke dots instead of a full crossbar.
+    pub bespoke_dots: bool,
+}
+
+impl LookupConfig {
+    /// Plain lookup replacement (Figs. 9 and 12).
+    pub fn baseline() -> Self {
+        LookupConfig { eliminate_constant_columns: false, bespoke_dots: false }
+    }
+
+    /// Both printing-specific optimizations on (Figs. 10 and 13).
+    pub fn optimized() -> Self {
+        LookupConfig { eliminate_constant_columns: true, bespoke_dots: true }
+    }
+}
+
+/// Emits a ROM for `contents`, applying the configured optimizations, and
+/// returns the full `bits`-wide output (constant columns come back as
+/// [`Signal::Const`], which downstream optimization folds).
+pub(crate) fn emit_lut(
+    b: &mut NetlistBuilder,
+    addr: &[Signal],
+    contents: &[u64],
+    bits: usize,
+    config: LookupConfig,
+) -> Vec<Signal> {
+    let style = if config.bespoke_dots { RomStyle::BespokeDots } else { RomStyle::Crossbar };
+    if !config.eliminate_constant_columns {
+        return b.rom(addr, contents.to_vec(), bits, style);
+    }
+    // Find constant columns.
+    let mut constant: Vec<Option<bool>> = Vec::with_capacity(bits);
+    for bit in 0..bits {
+        let first = contents.first().is_some_and(|w| (w >> bit) & 1 == 1);
+        let all_same = contents.iter().all(|w| ((w >> bit) & 1 == 1) == first);
+        constant.push(all_same.then_some(first));
+    }
+    let varying: Vec<usize> =
+        (0..bits).filter(|&bit| constant[bit].is_none()).collect();
+    if varying.is_empty() {
+        return (0..bits).map(|bit| Signal::Const(constant[bit].unwrap())).collect();
+    }
+    // Compact the varying columns into a narrower ROM.
+    let compacted: Vec<u64> = contents
+        .iter()
+        .map(|w| {
+            varying
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (j, &bit)| acc | (((w >> bit) & 1) << j))
+        })
+        .collect();
+    let outputs = b.rom(addr, compacted, varying.len(), style);
+    (0..bits)
+        .map(|bit| match constant[bit] {
+            Some(v) => Signal::Const(v),
+            None => outputs[varying.iter().position(|&vb| vb == bit).unwrap()],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::sim::Simulator;
+
+    #[test]
+    fn constant_columns_are_hardwired_and_correct() {
+        // Contents where bit 0 is always 0 and bit 3 always 1.
+        let contents: Vec<u64> = vec![0b1010, 0b1100, 0b1110, 0b1000];
+        let mut b = NetlistBuilder::new("t");
+        let addr = b.input("a", 2);
+        let out = emit_lut(&mut b, &addr, &contents, 4, LookupConfig::optimized());
+        assert_eq!(out[0], Signal::Const(false));
+        assert_eq!(out[3], Signal::Const(true));
+        b.output("o", &out);
+        let m = b.finish();
+        // The surviving ROM carries only 2 data columns.
+        assert_eq!(m.roms[0].data.len(), 2);
+        let mut sim = Simulator::new(&m);
+        for (a, want) in contents.iter().enumerate() {
+            sim.set("a", a as u64);
+            sim.settle();
+            assert_eq!(sim.get("o"), *want);
+        }
+    }
+
+    #[test]
+    fn fully_constant_tables_need_no_rom_at_all() {
+        let contents = vec![0b01u64; 8];
+        let mut b = NetlistBuilder::new("t");
+        let addr = b.input("a", 3);
+        let out = emit_lut(&mut b, &addr, &contents, 2, LookupConfig::optimized());
+        assert_eq!(out, vec![Signal::ONE, Signal::ZERO]);
+        assert!(b.module().roms.is_empty());
+    }
+
+    #[test]
+    fn baseline_keeps_every_column() {
+        let contents = vec![0b10u64, 0b10, 0b10, 0b10];
+        let mut b = NetlistBuilder::new("t");
+        let addr = b.input("a", 2);
+        let out = emit_lut(&mut b, &addr, &contents, 2, LookupConfig::baseline());
+        assert!(out.iter().all(|s| !s.is_const()));
+        assert_eq!(b.module().roms[0].data.len(), 2);
+    }
+
+    #[test]
+    fn dots_style_is_selected_by_config() {
+        let mut b = NetlistBuilder::new("t");
+        let addr = b.input("a", 2);
+        let _ = emit_lut(&mut b, &addr, &[1, 2, 3, 0], 2, LookupConfig::optimized());
+        assert_eq!(b.module().roms[0].style, pdk::RomStyle::BespokeDots);
+    }
+}

@@ -1,0 +1,75 @@
+//! Power-source feasibility set assignment (Figs. 3 and 19).
+//!
+//! The paper places each classifier design into the set of the weakest
+//! printed power source that can supply it, and draws two conclusions:
+//! no conventional EGT classifier fits *any* printed source comfortably
+//! (Fig. 3), while bespoke/lookup/analog designs mostly do (Fig. 19), with
+//! the required source depending on the dataset.
+
+use pdk::power_src::Feasibility;
+
+use crate::report::DesignReport;
+
+/// One row of a feasibility figure.
+#[derive(Debug, Clone)]
+pub struct PowerFitRow {
+    /// Design name.
+    pub design: String,
+    /// Peak power demand in mW.
+    pub power_mw: f64,
+    /// Weakest adequate source (or unpowerable).
+    pub feasibility: Feasibility,
+}
+
+/// Assigns every report to its feasibility set.
+pub fn assign_sets(reports: &[DesignReport]) -> Vec<PowerFitRow> {
+    reports
+        .iter()
+        .map(|r| PowerFitRow {
+            design: r.name.clone(),
+            power_mw: r.power.as_mw(),
+            feasibility: r.feasibility(),
+        })
+        .collect()
+}
+
+/// Counts how many designs each source (by name) ends up powering, in
+/// ladder order, with `"none"` last. Useful for summarizing a whole
+/// figure.
+pub fn summarize(rows: &[PowerFitRow]) -> Vec<(&'static str, usize)> {
+    let mut order: Vec<&'static str> = pdk::PowerSource::ladder().iter().map(|s| s.name).collect();
+    order.push("none");
+    order
+        .into_iter()
+        .map(|name| {
+            let count = rows.iter().filter(|r| r.feasibility.source_name() == name).count();
+            (name, count)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{TreeArch, TreeFlow};
+    use analog::tree::AnalogTreeConfig;
+    use ml::synth::Application;
+    use pdk::Technology;
+
+    #[test]
+    fn optimized_designs_are_powerable_conventional_mostly_not() {
+        let flow = TreeFlow::new(Application::Cardio, 4, 7);
+        let conv = flow.report(TreeArch::ConventionalParallel, Technology::Egt);
+        let besp = flow.report(TreeArch::BespokeParallel, Technology::Egt);
+        let analog = flow.report(TreeArch::Analog(AnalogTreeConfig::default()), Technology::Egt);
+        let rows = assign_sets(&[conv, besp, analog]);
+        // Conventional parallel DT-4 exceeds every printed source (Fig. 3).
+        assert!(!rows[0].feasibility.is_powerable(), "{:?}", rows[0]);
+        // Bespoke and analog designs fit somewhere on the ladder (Fig. 19).
+        assert!(rows[1].feasibility.is_powerable());
+        assert!(rows[2].feasibility.is_powerable());
+        let summary = summarize(&rows);
+        let total: usize = summary.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 3);
+    }
+}

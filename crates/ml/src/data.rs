@@ -1,0 +1,299 @@
+//! Dataset container, splitting and normalization.
+//!
+//! Mirrors the paper's §III preprocessing: categorical features removed
+//! (our synthetic generators never produce them), a 70/30 train/test split,
+//! and per-feature standardization to zero mean / unit variance computed on
+//! the training set only.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A labelled dataset: dense row-major features and integer class labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Feature rows; every row has the same length.
+    pub x: Vec<Vec<f64>>,
+    /// Class labels in `0..n_classes`.
+    pub y: Vec<usize>,
+    /// Number of distinct classes.
+    pub n_classes: usize,
+    /// Human-readable name (e.g. `"cardio"`).
+    pub name: String,
+}
+
+impl Dataset {
+    /// Creates a dataset, checking shape invariants.
+    ///
+    /// # Panics
+    /// Panics if rows are ragged, labels are out of range, or `x` and `y`
+    /// differ in length.
+    pub fn new(name: impl Into<String>, x: Vec<Vec<f64>>, y: Vec<usize>, n_classes: usize) -> Self {
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        assert!(!x.is_empty(), "empty dataset");
+        let width = x[0].len();
+        assert!(x.iter().all(|r| r.len() == width), "ragged feature rows");
+        assert!(y.iter().all(|&l| l < n_classes), "label out of range");
+        Dataset { x, y, n_classes, name: name.into() }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when the dataset has no samples (never, per constructor).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Number of features per sample.
+    pub fn n_features(&self) -> usize {
+        self.x[0].len()
+    }
+
+    /// Shuffles and splits into (train, test) with `train_fraction` of the
+    /// samples in train, deterministic in `seed`.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..1.0).contains(&train_fraction), "fraction must be in [0,1)");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let cut = ((self.len() as f64) * train_fraction).round() as usize;
+        let take = |ids: &[usize], tag: &str| {
+            Dataset::new(
+                format!("{}-{tag}", self.name),
+                ids.iter().map(|&i| self.x[i].clone()).collect(),
+                ids.iter().map(|&i| self.y[i]).collect(),
+                self.n_classes,
+            )
+        };
+        (take(&idx[..cut], "train"), take(&idx[cut..], "test"))
+    }
+}
+
+/// Per-feature affine normalization fitted on a training set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits zero-mean / unit-variance parameters on `data`.
+    pub fn fit(data: &Dataset) -> Self {
+        let n = data.len() as f64;
+        let d = data.n_features();
+        let mut mean = vec![0.0; d];
+        for row in &data.x {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for row in &data.x {
+            for ((v, x), m) in var.iter_mut().zip(row).zip(&mean) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Standardizer { mean, std }
+    }
+
+    /// Transforms a single row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for ((x, m), s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+            *x = (*x - m) / s;
+        }
+    }
+
+    /// Returns a standardized copy of `data`.
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        let mut out = data.clone();
+        for row in &mut out.x {
+            self.transform_row(row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 2.0 * i as f64 + 1.0]).collect();
+        let y: Vec<usize> = (0..100).map(|i| i % 3).collect();
+        Dataset::new("toy", x, y, 3)
+    }
+
+    #[test]
+    fn split_is_deterministic_and_sized() {
+        let d = toy();
+        let (tr1, te1) = d.split(0.7, 42);
+        let (tr2, te2) = d.split(0.7, 42);
+        assert_eq!(tr1, tr2);
+        assert_eq!(te1, te2);
+        assert_eq!(tr1.len(), 70);
+        assert_eq!(te1.len(), 30);
+        let (tr3, _) = d.split(0.7, 43);
+        assert_ne!(tr1, tr3, "different seed, different shuffle");
+    }
+
+    #[test]
+    fn split_preserves_all_samples() {
+        let d = toy();
+        let (tr, te) = d.split(0.7, 1);
+        let mut all: Vec<f64> = tr.x.iter().chain(&te.x).map(|r| r[0]).collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn standardizer_centers_and_scales() {
+        let d = toy();
+        let s = Standardizer::fit(&d);
+        let t = s.transform(&d);
+        for f in 0..2 {
+            let mean: f64 = t.x.iter().map(|r| r[f]).sum::<f64>() / t.len() as f64;
+            let var: f64 = t.x.iter().map(|r| r[f] * r[f]).sum::<f64>() / t.len() as f64;
+            assert!(mean.abs() < 1e-9, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-9, "var {var}");
+        }
+    }
+
+    #[test]
+    fn standardizer_tolerates_constant_features() {
+        let x = vec![vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]];
+        let d = Dataset::new("c", x, vec![0, 1, 0], 2);
+        let s = Standardizer::fit(&d);
+        let t = s.transform(&d);
+        assert!(t.x.iter().all(|r| r[0] == 0.0));
+        assert!(t.x.iter().all(|r| r[1].is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_are_rejected() {
+        Dataset::new("bad", vec![vec![1.0], vec![1.0, 2.0]], vec![0, 0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_labels_are_rejected() {
+        Dataset::new("bad", vec![vec![1.0]], vec![5], 2);
+    }
+}
+
+impl Dataset {
+    /// Returns a copy with additive per-feature sensor drift applied.
+    ///
+    /// Chemical sensors (GasID is the canonical case) drift over weeks in
+    /// the field; a classifier trained on fresh sensors sees shifted
+    /// inputs. Each feature receives a fixed offset drawn from
+    /// `±magnitude` (in units of that feature's training standard
+    /// deviation being 1 after standardization), deterministic in `seed`.
+    pub fn with_drift(&self, magnitude: f64, seed: u64) -> Dataset {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let offsets: Vec<f64> =
+            (0..self.n_features()).map(|_| rng.gen_range(-magnitude..=magnitude)).collect();
+        let mut out = self.clone();
+        for row in &mut out.x {
+            for (v, o) in row.iter_mut().zip(&offsets) {
+                *v += o;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod drift_tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let y: Vec<usize> = (0..50).map(|i| i % 2).collect();
+        Dataset::new("toy", x, y, 2)
+    }
+
+    #[test]
+    fn zero_drift_is_identity() {
+        let d = toy();
+        assert_eq!(d.with_drift(0.0, 1), d);
+    }
+
+    #[test]
+    fn drift_is_a_constant_per_feature_offset() {
+        let d = toy();
+        let shifted = d.with_drift(0.5, 9);
+        let delta0 = shifted.x[0][0] - d.x[0][0];
+        for (a, b) in shifted.x.iter().zip(&d.x) {
+            assert!((a[0] - b[0] - delta0).abs() < 1e-12);
+        }
+        assert!(delta0.abs() <= 0.5);
+    }
+
+    #[test]
+    fn drift_is_deterministic_in_seed() {
+        let d = toy();
+        assert_eq!(d.with_drift(0.3, 5), d.with_drift(0.3, 5));
+        assert_ne!(d.with_drift(0.3, 5), d.with_drift(0.3, 6));
+    }
+}
+
+impl Dataset {
+    /// Per-class sample counts (length `n_classes`).
+    pub fn class_distribution(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in &self.y {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Fraction of samples belonging to the most common class — the
+    /// baseline accuracy of a majority-class predictor (what the paper's
+    /// DT-1 numbers hover near on the imbalanced medical datasets).
+    pub fn majority_fraction(&self) -> f64 {
+        let counts = self.class_distribution();
+        *counts.iter().max().unwrap_or(&0) as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod distribution_tests {
+    use super::*;
+    use crate::synth::Application;
+
+    #[test]
+    fn distribution_sums_to_sample_count() {
+        let d = Application::Cardio.generate(7);
+        let counts = d.class_distribution();
+        assert_eq!(counts.iter().sum::<usize>(), d.len());
+        assert_eq!(counts.len(), d.n_classes);
+    }
+
+    #[test]
+    fn medical_datasets_are_imbalanced_as_designed() {
+        // Cardio: ~78% normal; arrhythmia: ~54% normal; HAR: uniform.
+        assert!(Application::Cardio.generate(7).majority_fraction() > 0.7);
+        let arr = Application::Arrhythmia.generate(7).majority_fraction();
+        assert!(arr > 0.45 && arr < 0.65, "arrhythmia majority {arr}");
+        assert!(Application::Har.generate(7).majority_fraction() < 0.3);
+    }
+}

@@ -1,0 +1,127 @@
+//! Operation counting for Table II's `#C` / `#M` columns.
+//!
+//! The paper estimates each algorithm's *potential hardware cost* by
+//! counting its dominant operations — comparisons and two-input MACs — in
+//! the trained model, then pricing them with Table I's component costs.
+
+use serde::Serialize;
+
+use crate::forest::RandomForest;
+use crate::linear::{LogisticRegression, SvmClassifier, SvmRegressor};
+use crate::mlp::Mlp;
+use crate::tree::DecisionTree;
+
+/// Dominant-operation counts of one trained model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct OpCount {
+    /// Magnitude comparisons per inference (`#C`).
+    pub comparisons: usize,
+    /// Two-input multiply-accumulates per inference (`#M`).
+    pub macs: usize,
+    /// ReLU activations per inference (MLPs only).
+    pub relus: usize,
+}
+
+/// Anything whose inference cost can be summarized as op counts.
+pub trait CountOps {
+    /// Dominant-operation counts for one inference.
+    fn op_count(&self) -> OpCount;
+}
+
+impl CountOps for DecisionTree {
+    fn op_count(&self) -> OpCount {
+        OpCount { comparisons: self.comparison_count(), ..Default::default() }
+    }
+}
+
+impl CountOps for RandomForest {
+    fn op_count(&self) -> OpCount {
+        OpCount { comparisons: self.comparison_count(), ..Default::default() }
+    }
+}
+
+impl CountOps for SvmRegressor {
+    fn op_count(&self) -> OpCount {
+        OpCount {
+            // One MAC per feature; nearest-label mapping costs one
+            // comparison per class boundary plus the two range clamps
+            // (paper's SVM-R `#C` is `classes + 1`).
+            macs: self.weights().len(),
+            comparisons: self.n_classes() + 1,
+            ..Default::default()
+        }
+    }
+}
+
+impl CountOps for SvmClassifier {
+    fn op_count(&self) -> OpCount {
+        OpCount {
+            macs: self.machine_count() * self.n_features(),
+            comparisons: self.machine_count(),
+            ..Default::default()
+        }
+    }
+}
+
+impl CountOps for LogisticRegression {
+    fn op_count(&self) -> OpCount {
+        OpCount {
+            macs: self.n_classes() * self.n_features(),
+            comparisons: self.n_classes(),
+            ..Default::default()
+        }
+    }
+}
+
+impl CountOps for Mlp {
+    fn op_count(&self) -> OpCount {
+        OpCount { macs: self.mac_count(), relus: self.relu_count(), ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::Application;
+    use crate::tree::TreeParams;
+
+    #[test]
+    fn tree_counts_internal_nodes_only() {
+        let d = Application::Cardio.generate(7);
+        let t = DecisionTree::fit(&d, TreeParams::with_depth(2));
+        let ops = t.op_count();
+        assert!(ops.comparisons <= 3);
+        assert_eq!(ops.macs, 0);
+        assert_eq!(ops.relus, 0);
+    }
+
+    #[test]
+    fn svm_c_counts_match_table_ii_formulas() {
+        // Arrhythmia: 263 features, 11 classes → 55 machines, 14,465 MACs
+        // (the paper prints "14k").
+        let d = Application::Arrhythmia.generate(7);
+        let m = SvmClassifier::fit(&d, 1, 1e-3, 7);
+        let ops = m.op_count();
+        assert_eq!(ops.comparisons, 55);
+        assert_eq!(ops.macs, 55 * 263);
+    }
+
+    #[test]
+    fn svm_r_counts_match_table_ii_formulas() {
+        // RedWine: 11 features, 6 classes → #M = 11, #C = 7.
+        let d = Application::RedWine.generate(7);
+        let m = SvmRegressor::fit(&d, 1, 1e-4);
+        let ops = m.op_count();
+        assert_eq!(ops.macs, 11);
+        assert_eq!(ops.comparisons, 7);
+    }
+
+    #[test]
+    fn lr_counts_match_table_ii_formulas() {
+        // Arrhythmia LR: 263 × 11 = 2893 MACs — exactly the paper's cell.
+        let d = Application::Arrhythmia.generate(7);
+        let m = LogisticRegression::fit(&d, 1, 0.1);
+        assert_eq!(m.op_count().macs, 2893);
+        assert_eq!(m.op_count().comparisons, 11);
+    }
+}

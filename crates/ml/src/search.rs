@@ -1,0 +1,156 @@
+//! Randomized hyper-parameter search with k-fold cross-validation.
+//!
+//! A lightweight analogue of scikit-learn's `RandomizedSearchCV` used in
+//! §III: sample hyper-parameter candidates, score each by k-fold CV
+//! accuracy on the training set, keep the best.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::data::Dataset;
+use crate::linear::SvmRegressor;
+use crate::metrics::accuracy;
+use crate::tree::{DecisionTree, TreeParams};
+
+/// Deterministic k-fold index split.
+///
+/// Returns `k` pairs of (train indices, validation indices).
+///
+/// # Panics
+/// Panics if `k < 2` or `k > n`.
+pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2 && k <= n, "need 2 <= k <= n");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    (0..k)
+        .map(|fold| {
+            let val: Vec<usize> =
+                idx.iter().copied().skip(fold).step_by(k).collect();
+            let train: Vec<usize> = idx
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(pos, _)| pos % k != fold)
+                .map(|(_, i)| i)
+                .collect();
+            (train, val)
+        })
+        .collect()
+}
+
+fn subset(data: &Dataset, idx: &[usize]) -> Dataset {
+    Dataset::new(
+        data.name.clone(),
+        idx.iter().map(|&i| data.x[i].clone()).collect(),
+        idx.iter().map(|&i| data.y[i]).collect(),
+        data.n_classes,
+    )
+}
+
+/// Randomized search over CART stopping parameters for a fixed depth.
+///
+/// Samples `iters` candidates of `(min_samples_split, max_thresholds)` and
+/// returns the parameters with the best mean CV accuracy.
+pub fn search_tree_params(
+    data: &Dataset,
+    depth: usize,
+    iters: usize,
+    folds: usize,
+    seed: u64,
+) -> TreeParams {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let splits = kfold(data.len(), folds, seed);
+    let mut best = (f64::NEG_INFINITY, TreeParams::with_depth(depth));
+    for _ in 0..iters {
+        let candidate = TreeParams {
+            max_depth: depth,
+            min_samples_split: *[2usize, 4, 8, 16].choose(&mut rng).unwrap(),
+            max_thresholds: *[16usize, 32, 64].choose(&mut rng).unwrap(),
+        };
+        let mut score = 0.0;
+        for (tr, va) in &splits {
+            let train = subset(data, tr);
+            let val = subset(data, va);
+            let tree = DecisionTree::fit(&train, candidate);
+            score += accuracy(val.x.iter().map(|r| tree.predict(r)), val.y.iter().copied());
+        }
+        score /= splits.len() as f64;
+        if score > best.0 {
+            best = (score, candidate);
+        }
+    }
+    best.1
+}
+
+/// Randomized search over SVM-R regularization and epochs.
+///
+/// Returns `(epochs, l2)` with the best mean CV accuracy.
+pub fn search_svm_params(
+    data: &Dataset,
+    iters: usize,
+    folds: usize,
+    seed: u64,
+) -> (usize, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let splits = kfold(data.len(), folds, seed);
+    let mut best = (f64::NEG_INFINITY, (200usize, 1e-4));
+    for _ in 0..iters {
+        let cand = (
+            *[100usize, 200, 300].choose(&mut rng).unwrap(),
+            *[1e-5, 1e-4, 1e-3, 1e-2].choose(&mut rng).unwrap(),
+        );
+        let mut score = 0.0;
+        for (tr, va) in &splits {
+            let train = subset(data, tr);
+            let val = subset(data, va);
+            let svm = SvmRegressor::fit(&train, cand.0, cand.1);
+            score += accuracy(val.x.iter().map(|r| svm.predict(r)), val.y.iter().copied());
+        }
+        score /= splits.len() as f64;
+        if score > best.0 {
+            best = (score, cand);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::Application;
+
+    #[test]
+    fn kfold_partitions_exactly() {
+        let folds = kfold(103, 5, 9);
+        assert_eq!(folds.len(), 5);
+        let mut all_val: Vec<usize> = folds.iter().flat_map(|(_, v)| v.clone()).collect();
+        all_val.sort_unstable();
+        assert_eq!(all_val, (0..103).collect::<Vec<_>>());
+        for (tr, va) in &folds {
+            assert_eq!(tr.len() + va.len(), 103);
+            assert!(va.iter().all(|i| !tr.contains(i)));
+        }
+    }
+
+    #[test]
+    fn kfold_is_deterministic() {
+        assert_eq!(kfold(50, 5, 3), kfold(50, 5, 3));
+        assert_ne!(kfold(50, 5, 3), kfold(50, 5, 4));
+    }
+
+    #[test]
+    fn tree_search_returns_requested_depth() {
+        let d = Application::RedWine.generate(7);
+        let p = search_tree_params(&d, 4, 3, 3, 7);
+        assert_eq!(p.max_depth, 4);
+    }
+
+    #[test]
+    fn svm_search_returns_sane_candidates() {
+        let d = Application::Har.generate(7);
+        let (epochs, l2) = search_svm_params(&d, 2, 3, 7);
+        assert!([100, 200, 300].contains(&epochs));
+        assert!(l2 > 0.0 && l2 <= 1e-2);
+    }
+}

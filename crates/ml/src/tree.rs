@@ -1,0 +1,472 @@
+//! CART decision-tree training and introspection.
+//!
+//! Gini-impurity binary trees with the `x[feature] <= threshold` branch
+//! convention (left on true), matching scikit-learn's `DecisionTreeClassifier`
+//! that the paper trained. The trained structure is fully introspectable —
+//! the hardware generators walk [`DecisionTree::nodes`] to emit comparators,
+//! thresholds and class ROMs.
+
+use crate::data::Dataset;
+
+/// A split in heap layout: `(position, feature, threshold)`.
+pub type HeapSplit = (usize, usize, f64);
+/// A leaf in heap layout: `(position, depth, class)`.
+pub type HeapLeaf = (usize, usize, usize);
+
+/// One node of a trained tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeNode {
+    /// Internal decision node: `x[feature] <= threshold` goes left.
+    Split {
+        /// Feature index tested.
+        feature: usize,
+        /// Decision threshold.
+        threshold: f64,
+        /// Index of the left child (condition true).
+        left: usize,
+        /// Index of the right child (condition false).
+        right: usize,
+    },
+    /// Leaf carrying a class label.
+    Leaf {
+        /// Predicted class.
+        class: usize,
+    },
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth (paper sweeps 1, 2, 4, 8).
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Cap on candidate thresholds evaluated per feature (quantile
+    /// subsampling keeps 263-feature training fast).
+    pub max_thresholds: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 4, min_samples_split: 2, max_thresholds: 32 }
+    }
+}
+
+impl TreeParams {
+    /// Parameters for a depth-`d` tree with the paper's defaults elsewhere.
+    pub fn with_depth(d: usize) -> Self {
+        TreeParams { max_depth: d, ..Default::default() }
+    }
+}
+
+/// A trained CART classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<TreeNode>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `data` with `params`. A depth-0 request yields a
+    /// single majority-class leaf.
+    pub fn fit(data: &Dataset, params: TreeParams) -> Self {
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let mut nodes = Vec::new();
+        build(data, &indices, params.max_depth, &params, &mut nodes, None);
+        DecisionTree { nodes, n_classes: data.n_classes, n_features: data.n_features() }
+    }
+
+    /// Fits on a subset of samples, optionally restricting candidate
+    /// features per split (used by random forests).
+    pub fn fit_subset(
+        data: &Dataset,
+        sample_indices: &[usize],
+        params: TreeParams,
+        feature_subset: Option<&[usize]>,
+    ) -> Self {
+        let mut nodes = Vec::new();
+        build(data, sample_indices, params.max_depth, &params, &mut nodes, feature_subset);
+        DecisionTree { nodes, n_classes: data.n_classes, n_features: data.n_features() }
+    }
+
+    /// Predicts the class of one row.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                TreeNode::Leaf { class } => return *class,
+                TreeNode::Split { feature, threshold, left, right } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// All nodes; index 0 is the root.
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// Number of classes the tree predicts over.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of input features the training data had.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of internal (comparison) nodes — Table II's `#C` for trees.
+    pub fn comparison_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, TreeNode::Split { .. })).count()
+    }
+
+    /// Depth of the tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn d(nodes: &[TreeNode], i: usize) -> usize {
+            match &nodes[i] {
+                TreeNode::Leaf { .. } => 0,
+                TreeNode::Split { left, right, .. } => 1 + d(nodes, *left).max(d(nodes, *right)),
+            }
+        }
+        d(&self.nodes, 0)
+    }
+
+    /// Sorted list of distinct features the tree actually tests — the
+    /// quantity (≈14 on average across the paper's datasets) that sizes the
+    /// serial tree's input multiplexer.
+    pub fn used_features(&self) -> Vec<usize> {
+        let mut f: Vec<usize> = self
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                TreeNode::Split { feature, .. } => Some(*feature),
+                TreeNode::Leaf { .. } => None,
+            })
+            .collect();
+        f.sort_unstable();
+        f.dedup();
+        f
+    }
+
+    /// Flattens the tree onto full-binary-tree ("heap") positions: root at
+    /// 1, children of `p` at `2p` / `2p+1` — the indexing scheme the serial
+    /// architecture's shift register produces. Returns
+    /// `(splits, leaves)` where splits are `(position, feature, threshold)`
+    /// and leaves `(position, depth, class)`.
+    pub fn heap_layout(&self) -> (Vec<HeapSplit>, Vec<HeapLeaf>) {
+        let mut splits = Vec::new();
+        let mut leaves = Vec::new();
+        let mut stack = vec![(0usize, 1usize, 0usize)]; // (node, position, depth)
+        while let Some((node, pos, depth)) = stack.pop() {
+            match &self.nodes[node] {
+                TreeNode::Leaf { class } => leaves.push((pos, depth, *class)),
+                TreeNode::Split { feature, threshold, left, right } => {
+                    splits.push((pos, *feature, *threshold));
+                    // Paper convention: comparison result shifts into the
+                    // LSB; we use bit 0 = "went right" (condition false).
+                    stack.push((*left, pos * 2, depth + 1));
+                    stack.push((*right, pos * 2 + 1, depth + 1));
+                }
+            }
+        }
+        splits.sort_unstable_by_key(|s| s.0);
+        leaves.sort_unstable_by_key(|l| l.0);
+        (splits, leaves)
+    }
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / t).powi(2)).sum::<f64>()
+}
+
+fn majority(counts: &[usize]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Recursively grows the tree; returns the new node's index.
+fn build(
+    data: &Dataset,
+    indices: &[usize],
+    depth_left: usize,
+    params: &TreeParams,
+    nodes: &mut Vec<TreeNode>,
+    feature_subset: Option<&[usize]>,
+) -> usize {
+    let mut counts = vec![0usize; data.n_classes];
+    for &i in indices {
+        counts[data.y[i]] += 1;
+    }
+    let node_gini = gini(&counts, indices.len());
+    let make_leaf = depth_left == 0
+        || indices.len() < params.min_samples_split
+        || node_gini == 0.0
+        || indices.is_empty();
+    if make_leaf {
+        nodes.push(TreeNode::Leaf { class: majority(&counts) });
+        return nodes.len() - 1;
+    }
+
+    let features: Vec<usize> = match feature_subset {
+        Some(f) => f.to_vec(),
+        None => (0..data.n_features()).collect(),
+    };
+    // Coarse scan with quantile-strided candidates, then a full-resolution
+    // rescan around the winning position (so subsampling never misses a
+    // clean cut sitting between strides).
+    let mut best: Option<(f64, usize, f64, usize, usize)> = None; // (gini, f, thr, w, stride)
+    let evaluate = |f: usize, thr: f64| -> Option<f64> {
+        let mut lc = vec![0usize; data.n_classes];
+        let mut rc = vec![0usize; data.n_classes];
+        for &i in indices {
+            if data.x[i][f] <= thr {
+                lc[data.y[i]] += 1;
+            } else {
+                rc[data.y[i]] += 1;
+            }
+        }
+        let ln: usize = lc.iter().sum();
+        let rn: usize = rc.iter().sum();
+        if ln == 0 || rn == 0 {
+            return None;
+        }
+        let score =
+            (ln as f64 * gini(&lc, ln) + rn as f64 * gini(&rc, rn)) / indices.len() as f64;
+        // Tie-break toward balanced partitions: when several cuts achieve
+        // the same impurity (e.g. every depth-1 cut of XOR data), a balanced
+        // split gives the children the most room to improve.
+        let imbalance = (ln as f64 - rn as f64).abs() / indices.len() as f64;
+        Some(score + imbalance * 1e-7)
+    };
+    let sorted_vals = |f: usize| {
+        let mut vals: Vec<f64> = indices.iter().map(|&i| data.x[i][f]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.dedup();
+        vals
+    };
+    for &f in &features {
+        let vals = sorted_vals(f);
+        if vals.len() < 2 {
+            continue;
+        }
+        let stride = (vals.len() / params.max_thresholds).max(1);
+        for w in (0..vals.len() - 1).step_by(stride) {
+            let thr = (vals[w] + vals[w + 1]) / 2.0;
+            if let Some(score) = evaluate(f, thr) {
+                if best.is_none_or(|(b, ..)| score < b - 1e-15) {
+                    best = Some((score, f, thr, w, stride));
+                }
+            }
+        }
+    }
+    // Local refinement of the winner.
+    if let Some((_, f, _, w, stride)) = best {
+        if stride > 1 {
+            let vals = sorted_vals(f);
+            let lo = w.saturating_sub(stride);
+            let hi = (w + stride).min(vals.len() - 1);
+            for v in lo..hi {
+                let thr = (vals[v] + vals[v + 1]) / 2.0;
+                if let Some(score) = evaluate(f, thr) {
+                    if best.is_none_or(|(b, ..)| score < b - 1e-15) {
+                        best = Some((score, f, thr, v, stride));
+                    }
+                }
+            }
+        }
+    }
+
+    // Like scikit-learn's default CART, split on the best candidate even at
+    // zero immediate gain (a zero-gain split can enable a perfect split one
+    // level down — XOR being the canonical case).
+    let Some((_, feature, threshold, _, _)) = best else {
+        nodes.push(TreeNode::Leaf { class: majority(&counts) });
+        return nodes.len() - 1;
+    };
+    let _ = node_gini;
+
+    let (li, ri): (Vec<usize>, Vec<usize>) =
+        indices.iter().partition(|&&i| data.x[i][feature] <= threshold);
+    let me = nodes.len();
+    nodes.push(TreeNode::Leaf { class: 0 }); // placeholder
+    let left = build(data, &li, depth_left - 1, params, nodes, feature_subset);
+    let right = build(data, &ri, depth_left - 1, params, nodes, feature_subset);
+    nodes[me] = TreeNode::Split { feature, threshold, left, right };
+    me
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use crate::synth::Application;
+
+    fn xor_dataset() -> Dataset {
+        // Exact 2D XOR: every depth-1 cut has zero gain, so solving it
+        // requires the zero-gain split (like scikit-learn's CART) plus the
+        // balanced tie-break.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let a = (i % 2) as f64;
+            let b = ((i / 2) % 2) as f64;
+            x.push(vec![a, b]);
+            y.push((a as usize) ^ (b as usize));
+        }
+        Dataset::new("xor", x, y, 2)
+    }
+
+    #[test]
+    fn depth_two_solves_xor_depth_one_cannot() {
+        let d = xor_dataset();
+        let t1 = DecisionTree::fit(&d, TreeParams::with_depth(1));
+        let t2 = DecisionTree::fit(&d, TreeParams::with_depth(2));
+        let acc = |t: &DecisionTree| {
+            accuracy(d.x.iter().map(|r| t.predict(r)), d.y.iter().copied())
+        };
+        assert!(acc(&t1) < 0.8);
+        assert!(acc(&t2) > 0.95, "depth-2 accuracy {}", acc(&t2));
+        assert!(t2.depth() <= 2);
+    }
+
+    #[test]
+    fn depth_zero_is_a_majority_leaf() {
+        let d = xor_dataset();
+        let t = DecisionTree::fit(&d, TreeParams::with_depth(0));
+        assert_eq!(t.comparison_count(), 0);
+        assert_eq!(t.nodes().len(), 1);
+    }
+
+    #[test]
+    fn max_depth_is_respected() {
+        let d = Application::Pendigits.generate(7);
+        for depth in [1, 2, 4, 8] {
+            let t = DecisionTree::fit(&d, TreeParams::with_depth(depth));
+            assert!(t.depth() <= depth, "depth {} > requested {depth}", t.depth());
+            assert!(t.comparison_count() < (1 << depth));
+        }
+    }
+
+    #[test]
+    fn deeper_trees_do_not_get_less_accurate_on_train() {
+        let d = Application::Cardio.generate(7);
+        let acc = |depth| {
+            let t = DecisionTree::fit(&d, TreeParams::with_depth(depth));
+            accuracy(d.x.iter().map(|r| t.predict(r)), d.y.iter().copied())
+        };
+        let (a1, a4, a8) = (acc(1), acc(4), acc(8));
+        assert!(a4 >= a1 - 1e-9);
+        assert!(a8 >= a4 - 1e-9);
+    }
+
+    #[test]
+    fn pure_nodes_stop_early() {
+        // Perfectly separable single feature: a depth-8 request still
+        // produces a tiny tree.
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..100).map(|i| (i >= 50) as usize).collect();
+        let d = Dataset::new("sep", x, y, 2);
+        let t = DecisionTree::fit(&d, TreeParams::with_depth(8));
+        assert_eq!(t.comparison_count(), 1);
+        assert_eq!(t.used_features(), vec![0]);
+    }
+
+    #[test]
+    fn heap_layout_is_consistent() {
+        let d = xor_dataset();
+        let t = DecisionTree::fit(&d, TreeParams::with_depth(2));
+        let (splits, leaves) = t.heap_layout();
+        assert_eq!(splits.len(), t.comparison_count());
+        // Root is position 1.
+        assert!(splits.iter().any(|s| s.0 == 1));
+        // Leaf positions never collide with split positions.
+        for (lp, _, _) in &leaves {
+            assert!(splits.iter().all(|(sp, _, _)| sp != lp));
+        }
+        // Every leaf position's ancestors are split positions.
+        for (lp, _, _) in &leaves {
+            let mut p = lp / 2;
+            while p >= 1 {
+                assert!(splits.iter().any(|(sp, _, _)| *sp == p), "ancestor {p} of {lp}");
+                p /= 2;
+            }
+        }
+    }
+
+    #[test]
+    fn predictions_follow_thresholds() {
+        let d = xor_dataset();
+        let t = DecisionTree::fit(&d, TreeParams::with_depth(2));
+        // Hand-walk the tree for one row and compare with predict().
+        let row = &d.x[3];
+        let mut i = 0usize;
+        let manual = loop {
+            match &t.nodes()[i] {
+                TreeNode::Leaf { class } => break *class,
+                TreeNode::Split { feature, threshold, left, right } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        };
+        assert_eq!(manual, t.predict(row));
+    }
+}
+
+impl DecisionTree {
+    /// Renders the tree as Graphviz DOT (decision nodes as boxes, leaves
+    /// as ovals) for inspection of what is about to be printed.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph tree {\n  node [fontname=\"monospace\"];\n");
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node {
+                TreeNode::Leaf { class } => {
+                    let _ = writeln!(out, "  n{i} [label=\"class {class}\"];");
+                }
+                TreeNode::Split { feature, threshold, left, right } => {
+                    let _ = writeln!(
+                        out,
+                        "  n{i} [shape=box, label=\"x{feature} <= {threshold:.4}\"];"
+                    );
+                    let _ = writeln!(out, "  n{i} -> n{left} [label=\"yes\"];");
+                    let _ = writeln!(out, "  n{i} -> n{right} [label=\"no\"];");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use crate::synth::Application;
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let data = Application::Cardio.generate(7);
+        let tree = DecisionTree::fit(&data, TreeParams::with_depth(3));
+        let dot = tree.to_dot();
+        assert!(dot.starts_with("digraph tree {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // One node line per tree node, one edge pair per split.
+        assert_eq!(
+            dot.matches("shape=box").count(),
+            tree.comparison_count()
+        );
+        assert_eq!(dot.matches("-> ").count(), tree.comparison_count() * 2);
+        assert!(dot.contains("class "));
+    }
+}

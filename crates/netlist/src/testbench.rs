@@ -1,0 +1,157 @@
+//! Self-checking Verilog testbench emission.
+//!
+//! The paper's flow hands generated RTL to a commercial tool chain; ours
+//! can do the same, and this module closes the loop by emitting a
+//! testbench whose expected outputs come from our own functional
+//! simulator. Run the pair through any Verilog simulator and a mismatch
+//! prints `FAIL`; a clean run prints `PASS`.
+
+use std::fmt::Write as _;
+
+use crate::ir::Module;
+use crate::sim::Simulator;
+use crate::verilog::to_verilog;
+
+/// One stimulus: a value per input port, in the module's port order.
+pub type Vector = Vec<u64>;
+
+/// Renders `module` plus a self-checking testbench over `vectors`.
+///
+/// For combinational modules each vector is applied and checked after a
+/// settle delay; for sequential modules the testbench pulses the clock
+/// `cycles_per_vector` times after applying each vector (matching how the
+/// serial tree consumes one inference per `depth` cycles).
+///
+/// Expected outputs are computed with [`Simulator`], so the testbench is
+/// an executable statement of this crate's semantics.
+///
+/// # Panics
+/// Panics if any vector's length differs from the module's input count.
+pub fn to_testbench(module: &Module, vectors: &[Vector], cycles_per_vector: usize) -> String {
+    let mut out = to_verilog(module);
+    let sequential = !module.is_combinational();
+    let mut sim = Simulator::new(module);
+
+    let _ = writeln!(out, "\nmodule tb;");
+    if sequential {
+        let _ = writeln!(out, "  reg clk = 0;");
+        let _ = writeln!(out, "  always #5 clk = ~clk;");
+    }
+    for p in &module.inputs {
+        let _ = writeln!(out, "  reg [{}:0] {} = 0;", p.width().saturating_sub(1), p.name);
+    }
+    for p in &module.outputs {
+        let _ = writeln!(out, "  wire [{}:0] {};", p.width().saturating_sub(1), p.name);
+    }
+    let mut ports: Vec<String> = Vec::new();
+    if sequential {
+        ports.push(".clk(clk)".to_string());
+    }
+    for p in module.inputs.iter().chain(&module.outputs) {
+        ports.push(format!(".{0}({0})", p.name));
+    }
+    let name: String = module
+        .name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    let _ = writeln!(out, "  {name} dut ({});", ports.join(", "));
+    let _ = writeln!(out, "  integer errors = 0;");
+    let _ = writeln!(out, "  initial begin");
+
+    for (vi, vector) in vectors.iter().enumerate() {
+        assert_eq!(
+            vector.len(),
+            module.inputs.len(),
+            "vector {vi} has {} values for {} inputs",
+            vector.len(),
+            module.inputs.len()
+        );
+        // Drive the simulator to learn the expected outputs.
+        if sequential {
+            sim.reset();
+        }
+        for (p, &v) in module.inputs.iter().zip(vector) {
+            sim.set(&p.name, v);
+            let _ = writeln!(out, "    {} = {}'d{};", p.name, p.width(), v);
+        }
+        if sequential {
+            for _ in 0..cycles_per_vector.max(1) {
+                sim.step();
+            }
+            sim.settle();
+            // The DUT needs a reset per vector in general; this testbench
+            // targets designs whose state converges from the vector alone
+            // within the cycle budget, so we simply wait the cycles out.
+            let _ = writeln!(out, "    repeat ({}) @(posedge clk);", cycles_per_vector.max(1));
+            let _ = writeln!(out, "    #1;");
+        } else {
+            sim.settle();
+            let _ = writeln!(out, "    #10;");
+        }
+        for p in &module.outputs {
+            let expect = sim.get(&p.name);
+            let _ = writeln!(
+                out,
+                "    if ({} !== {}'d{}) begin $display(\"FAIL vector {} port {}: got %0d want {}\", {}); errors = errors + 1; end",
+                p.name,
+                p.width(),
+                expect,
+                vi,
+                p.name,
+                expect,
+                p.name
+            );
+        }
+    }
+    let _ = writeln!(out, "    if (errors == 0) $display(\"PASS\");");
+    let _ = writeln!(out, "    $finish;");
+    let _ = writeln!(out, "  end");
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn combinational_testbench_embeds_expected_values() {
+        let mut b = NetlistBuilder::new("adder");
+        let x = b.input("x", 3);
+        let y = b.input("y", 3);
+        let s = crate::arith::add(&mut b, &x, &y);
+        b.output("s", &s);
+        let m = b.finish();
+        let tb = to_testbench(&m, &[vec![3, 4], vec![7, 7]], 1);
+        assert!(tb.contains("module tb;"));
+        assert!(tb.contains("4'd7"), "3+4 expectation missing:\n{tb}");
+        assert!(tb.contains("4'd14"), "7+7 expectation missing");
+        assert!(tb.contains("PASS"));
+        assert!(!tb.contains("clk"), "combinational testbench needs no clock");
+    }
+
+    #[test]
+    fn sequential_testbench_pulses_the_clock() {
+        let mut b = NetlistBuilder::new("reg");
+        let d = b.input("d", 2);
+        let q = b.register(&d, 0);
+        b.output("q", &q);
+        let m = b.finish();
+        let tb = to_testbench(&m, &[vec![2]], 1);
+        assert!(tb.contains("always #5 clk = ~clk;"));
+        assert!(tb.contains("repeat (1) @(posedge clk);"));
+        assert!(tb.contains("2'd2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "vector 0 has")]
+    fn wrong_arity_vectors_are_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        let x = b.input("x", 1);
+        b.output("o", &[x[0]]);
+        let m = b.finish();
+        let _ = to_testbench(&m, &[vec![1, 2]], 1);
+    }
+}

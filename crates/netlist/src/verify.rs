@@ -1,0 +1,280 @@
+//! Combinational equivalence checking.
+//!
+//! The bespoke flow rewrites netlists aggressively (constant folding,
+//! absorption, CSE, lookup replacement); a synthesis flow would sign this
+//! off with logic equivalence checking. This module provides the same
+//! safety net: a classic *miter* construction (XOR corresponding outputs,
+//! OR the differences) plus exhaustive or sampled proving via the
+//! functional simulator.
+
+use crate::builder::NetlistBuilder;
+use crate::ir::{Module, Signal};
+use crate::sim::Simulator;
+
+/// Outcome of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Equivalence {
+    /// All tried inputs agree; exhaustive proofs cover the whole space.
+    Equivalent {
+        /// Number of input vectors evaluated.
+        vectors: usize,
+        /// True when every possible input was covered.
+        exhaustive: bool,
+    },
+    /// A distinguishing input was found (values per input port of `a`).
+    CounterExample(Vec<u64>),
+}
+
+impl Equivalence {
+    /// True for the equivalent verdicts.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, Equivalence::Equivalent { .. })
+    }
+}
+
+/// Builds a miter over two combinational modules with identical port
+/// shapes: shared inputs, one `diff` output that is 1 iff any output bit
+/// differs.
+///
+/// # Panics
+/// Panics if the modules' port names/widths differ or either is
+/// sequential.
+pub fn miter(a: &Module, b: &Module) -> Module {
+    assert!(a.is_combinational() && b.is_combinational(), "miter needs combinational modules");
+    assert_eq!(a.inputs.len(), b.inputs.len(), "input port count differs");
+    for (pa, pb) in a.inputs.iter().zip(&b.inputs) {
+        assert_eq!(pa.name, pb.name, "input port name differs");
+        assert_eq!(pa.width(), pb.width(), "input port width differs");
+    }
+    assert_eq!(a.outputs.len(), b.outputs.len(), "output port count differs");
+    for (pa, pb) in a.outputs.iter().zip(&b.outputs) {
+        assert_eq!(pa.name, pb.name, "output port name differs");
+        assert_eq!(pa.width(), pb.width(), "output port width differs");
+    }
+
+    let mut m = NetlistBuilder::new(format!("miter_{}_{}", a.name, b.name));
+    // Shared inputs.
+    let shared: Vec<Vec<Signal>> =
+        a.inputs.iter().map(|p| m.input(p.name.clone(), p.width())).collect();
+
+    // Instantiate a copy of `src` into the miter, remapping nets.
+    fn instantiate(
+        m: &mut NetlistBuilder,
+        src: &Module,
+        shared: &[Vec<Signal>],
+    ) -> Vec<Vec<Signal>> {
+        use std::collections::HashMap;
+        let mut map: HashMap<crate::ir::NetId, Signal> = HashMap::new();
+        for (pi, port) in src.inputs.iter().enumerate() {
+            for (bi, bit) in port.bits.iter().enumerate() {
+                if let Signal::Net(n) = bit {
+                    map.insert(*n, shared[pi][bi]);
+                }
+            }
+        }
+        let remap = |map: &HashMap<crate::ir::NetId, Signal>, s: Signal| -> Signal {
+            match s {
+                Signal::Const(_) => s,
+                Signal::Net(n) => *map.get(&n).expect("source net mapped"),
+            }
+        };
+        // Pass 1: allocate a fresh net per gate/ROM output (gates may
+        // reference each other in any order, so all outputs are mapped
+        // before any gate is emitted).
+        let mut out_map: HashMap<crate::ir::NetId, Signal> = HashMap::new();
+        for g in &src.gates {
+            let fresh = m.fresh_net();
+            out_map.insert(g.output, Signal::Net(fresh));
+        }
+        for r in &src.roms {
+            for d in &r.data {
+                let fresh = m.fresh_net();
+                out_map.insert(*d, Signal::Net(fresh));
+            }
+        }
+        map.extend(out_map.iter().map(|(k, v)| (*k, *v)));
+        // Pass 2: emit gates wired through the map.
+        for g in &src.gates {
+            let inputs: Vec<Signal> = g.inputs.iter().map(|&s| remap(&map, s)).collect();
+            let out = map[&g.output].net().expect("allocated net");
+            m.push_raw_gate(g.kind, inputs, out);
+        }
+        for r in &src.roms {
+            let addr: Vec<Signal> = r.addr.iter().map(|&s| remap(&map, s)).collect();
+            let data: Vec<crate::ir::NetId> =
+                r.data.iter().map(|d| map[d].net().expect("allocated net")).collect();
+            m.push_raw_rom(addr, data, r.contents.clone(), r.style);
+        }
+        src.outputs
+            .iter()
+            .map(|p| p.bits.iter().map(|&s| remap(&map, s)).collect())
+            .collect()
+    }
+
+    let outs_a = instantiate(&mut m, a, &shared);
+    let outs_b = instantiate(&mut m, b, &shared);
+
+    let mut diffs = Vec::new();
+    for (wa, wb) in outs_a.iter().zip(&outs_b) {
+        for (&ba, &bb) in wa.iter().zip(wb) {
+            diffs.push(m.xor(ba, bb));
+        }
+    }
+    let diff = if diffs.is_empty() { Signal::ZERO } else { m.or_reduce(&diffs) };
+    m.output("diff", &[diff]);
+    m.finish()
+}
+
+/// Checks equivalence of two combinational modules.
+///
+/// With `total_input_bits <= exhaustive_limit` every input combination is
+/// tried (a proof); otherwise `samples` pseudo-random vectors are tried
+/// (a falsification attempt). The first mismatch is returned as a
+/// counter-example.
+pub fn check_equivalence(
+    a: &Module,
+    b: &Module,
+    exhaustive_limit: u32,
+    samples: usize,
+) -> Equivalence {
+    let m = miter(a, b);
+    let mut sim = Simulator::new(&m);
+    let widths: Vec<usize> = m.inputs.iter().map(|p| p.width()).collect();
+    let total_bits: u32 = widths.iter().map(|w| *w as u32).sum();
+
+    let try_vector = |sim: &mut Simulator, values: &[u64]| -> bool {
+        for (p, &v) in m.inputs.iter().zip(values) {
+            sim.set(&p.name, v);
+        }
+        sim.settle();
+        sim.get("diff") == 0
+    };
+
+    if total_bits <= exhaustive_limit {
+        let count = 1u64 << total_bits;
+        for packed in 0..count {
+            let mut rest = packed;
+            let values: Vec<u64> = widths
+                .iter()
+                .map(|&w| {
+                    let v = rest & ((1u64 << w) - 1);
+                    rest >>= w;
+                    v
+                })
+                .collect();
+            if !try_vector(&mut sim, &values) {
+                return Equivalence::CounterExample(values);
+            }
+        }
+        Equivalence::Equivalent { vectors: count as usize, exhaustive: true }
+    } else {
+        // Deterministic xorshift sampling.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..samples {
+            let values: Vec<u64> = widths
+                .iter()
+                .map(|&w| next() & ((1u64 << w.min(63)) - 1))
+                .collect();
+            if !try_vector(&mut sim, &values) {
+                return Equivalence::CounterExample(values);
+            }
+        }
+        Equivalence::Equivalent { vectors: samples, exhaustive: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comb::unsigned_le;
+    use crate::opt::optimize;
+
+    #[test]
+    fn optimizer_output_proves_equivalent() {
+        let mut b = NetlistBuilder::new("node");
+        let x = b.input("x", 6);
+        let tau = b.const_word(23, 6);
+        let le = unsigned_le(&mut b, &x, &tau);
+        b.output("le", &[le]);
+        let original = b.finish();
+        let optimized = optimize(&original);
+        let verdict = check_equivalence(&original, &optimized, 16, 0);
+        assert!(
+            matches!(verdict, Equivalence::Equivalent { exhaustive: true, .. }),
+            "{verdict:?}"
+        );
+    }
+
+    #[test]
+    fn different_circuits_yield_a_counterexample() {
+        let build = |tau: u64| {
+            let mut b = NetlistBuilder::new("node");
+            let x = b.input("x", 4);
+            let t = b.const_word(tau, 4);
+            let le = unsigned_le(&mut b, &x, &t);
+            b.output("le", &[le]);
+            b.finish()
+        };
+        let a = build(5);
+        let bb = build(6);
+        let verdict = check_equivalence(&a, &bb, 16, 0);
+        match verdict {
+            Equivalence::CounterExample(v) => {
+                // The circuits disagree exactly at x = 6.
+                assert_eq!(v, vec![6]);
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sampled_mode_covers_wide_inputs() {
+        let mut b = NetlistBuilder::new("wide");
+        let x = b.input("x", 20);
+        let y = b.input("y", 20);
+        let s = crate::arith::add(&mut b, &x, &y);
+        b.output("s", &s);
+        let a = b.finish();
+        let opt = optimize(&a);
+        let verdict = check_equivalence(&a, &opt, 16, 200);
+        assert!(
+            matches!(verdict, Equivalence::Equivalent { exhaustive: false, vectors: 200 }),
+            "{verdict:?}"
+        );
+    }
+
+    #[test]
+    fn rom_modules_participate_in_miters() {
+        use pdk::RomStyle;
+        let build = |style: RomStyle| {
+            let mut b = NetlistBuilder::new("rom");
+            let a = b.input("a", 3);
+            let d = b.rom(&a, vec![1, 5, 2, 7, 0, 3, 6, 4], 3, style);
+            b.output("d", &d);
+            b.finish()
+        };
+        let crossbar = build(RomStyle::Crossbar);
+        let dots = build(RomStyle::BespokeDots);
+        // Same contents, different implementation style: equivalent.
+        let verdict = check_equivalence(&crossbar, &dots, 8, 0);
+        assert!(verdict.is_equivalent());
+    }
+
+    #[test]
+    #[should_panic(expected = "width differs")]
+    fn mismatched_ports_are_rejected() {
+        let mut b1 = NetlistBuilder::new("a");
+        let x = b1.input("x", 2);
+        b1.output("o", &[x[0]]);
+        let mut b2 = NetlistBuilder::new("b");
+        let y = b2.input("x", 3);
+        b2.output("o", &[y[0]]);
+        let _ = miter(&b1.finish(), &b2.finish());
+    }
+}

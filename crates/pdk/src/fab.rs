@@ -1,0 +1,150 @@
+//! Fabrication economics: yield, marginal cost, and the NRE asymmetry
+//! that makes bespoke printing viable.
+//!
+//! §IV: "both NRE costs and per unit-area fabrication costs in printed
+//! technology are low, even sub-cent, especially for additive and
+//! mask-less technologies such as inkjet printing … Such degree of
+//! customization is mostly infeasible in lithography-based silicon
+//! technologies, especially at low to moderate volumes, due to high NRE
+//! costs." And §III: "high area of the serial trees has direct impact on
+//! yield, bill of materials (BOM), and fabrication throughput."
+//!
+//! The model: Poisson defect yield `Y = exp(−D₀·A)`, a per-area marginal
+//! print/wafer cost, and a one-time NRE amortized over the production
+//! volume. Anchors: the paper's Fujifilm Dimatix 2850 printer costs
+//! ~50 000 USD and reaches sub-cent marginal cost per circuit; "even older
+//! silicon foundries may cost hundreds of millions of dollars" and a
+//! mask set runs to ~1 M USD at 40 nm.
+
+use serde::Serialize;
+
+use crate::tech::Technology;
+use crate::units::Area;
+
+/// Fabrication cost parameters of one technology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FabModel {
+    /// Defect density in defects per cm² (printed layers are dirty).
+    pub defect_density_per_cm2: f64,
+    /// Marginal cost per cm² of printed/processed area, in USD.
+    pub cost_per_cm2_usd: f64,
+    /// One-time engineering cost per *design* (mask set, tooling), USD.
+    pub nre_usd: f64,
+}
+
+impl FabModel {
+    /// Cost model for `technology`.
+    pub fn for_technology(technology: Technology) -> Self {
+        match technology {
+            // Inkjet EGT: mask-less — the NRE of a new design is just a
+            // CAD file. Ink + substrate land at sub-cent per cm².
+            Technology::Egt => FabModel {
+                defect_density_per_cm2: 0.05,
+                cost_per_cm2_usd: 0.004,
+                nre_usd: 0.0,
+            },
+            // Subtractive CNT-TFT: photoresist + etch steps need plates
+            // and alignment — small but non-zero NRE, pricier area.
+            Technology::CntTft => FabModel {
+                defect_density_per_cm2: 0.02,
+                cost_per_cm2_usd: 0.03,
+                nre_usd: 5_000.0,
+            },
+            // 40 nm CMOS: pennies per mm² of wafer at volume, but a mask
+            // set in the million-dollar class.
+            Technology::Tsmc40 => FabModel {
+                defect_density_per_cm2: 0.002,
+                cost_per_cm2_usd: 10.0,
+                nre_usd: 1_000_000.0,
+            },
+        }
+    }
+
+    /// Poisson yield of a die of the given area: `exp(−D₀·A)`.
+    pub fn yield_of(&self, area: Area) -> f64 {
+        (-self.defect_density_per_cm2 * area.as_cm2()).exp()
+    }
+
+    /// Marginal cost of one *working* unit (materials divided by yield).
+    pub fn marginal_cost_usd(&self, area: Area) -> f64 {
+        self.cost_per_cm2_usd * area.as_cm2() / self.yield_of(area)
+    }
+
+    /// All-in unit cost at a production volume: marginal + NRE/volume.
+    ///
+    /// # Panics
+    /// Panics if `volume` is zero.
+    pub fn unit_cost_usd(&self, area: Area, volume: u64) -> f64 {
+        assert!(volume > 0, "volume must be positive");
+        self.marginal_cost_usd(area) + self.nre_usd / volume as f64
+    }
+
+    /// The smallest volume at which this technology's unit cost drops
+    /// under `budget_usd` for a design of `area`, if any volume does.
+    pub fn break_even_volume(&self, area: Area, budget_usd: f64) -> Option<u64> {
+        let marginal = self.marginal_cost_usd(area);
+        if marginal >= budget_usd {
+            return None;
+        }
+        if self.nre_usd == 0.0 {
+            return Some(1);
+        }
+        Some((self.nre_usd / (budget_usd - marginal)).ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn egt_tags_are_sub_cent_at_volume_one() {
+        // §IV: sub-cent marginal cost per printed circuit, zero NRE — a
+        // one-off bespoke classifier is economical.
+        let fab = FabModel::for_technology(Technology::Egt);
+        let tag = Area::from_cm2(1.0); // a bespoke tree incl. margins
+        assert!(fab.unit_cost_usd(tag, 1) < 0.01, "{}", fab.unit_cost_usd(tag, 1));
+        assert_eq!(fab.break_even_volume(tag, 0.01), Some(1));
+    }
+
+    #[test]
+    fn silicon_needs_large_volumes_to_amortize_masks() {
+        // §IV: per-model silicon customization is infeasible at low to
+        // moderate volume.
+        let fab = FabModel::for_technology(Technology::Tsmc40);
+        let die = Area::from_um2(500.0); // a silicon bespoke tree is tiny
+        let volume = fab.break_even_volume(die, 0.01).expect("possible at some volume");
+        assert!(volume > 10_000_000, "breaks even at {volume}");
+        // A bespoke run of 10k units costs ~100 USD each: absurd for a
+        // milk carton.
+        assert!(fab.unit_cost_usd(die, 10_000) > 50.0);
+    }
+
+    #[test]
+    fn yield_decays_with_area() {
+        let fab = FabModel::for_technology(Technology::Egt);
+        let small = fab.yield_of(Area::from_cm2(1.0));
+        let large = fab.yield_of(Area::from_cm2(20.0));
+        assert!(small > large);
+        assert!(small > 0.9);
+        assert!(large < 0.5);
+        // Zero area yields perfectly.
+        assert_eq!(fab.yield_of(Area::ZERO), 1.0);
+    }
+
+    #[test]
+    fn marginal_cost_grows_superlinearly_for_big_dies() {
+        // §III: "high area of the serial trees has direct impact on yield
+        // [and] bill of materials" — a 2x area costs more than 2x.
+        let fab = FabModel::for_technology(Technology::Egt);
+        let a = fab.marginal_cost_usd(Area::from_cm2(10.0));
+        let b = fab.marginal_cost_usd(Area::from_cm2(20.0));
+        assert!(b > 2.0 * a);
+    }
+
+    #[test]
+    fn infeasible_budgets_return_none() {
+        let fab = FabModel::for_technology(Technology::Tsmc40);
+        assert!(fab.break_even_volume(Area::from_cm2(1.0), 0.001).is_none());
+    }
+}

@@ -1,0 +1,221 @@
+//! Cost model for printed crossbar ROM macros.
+//!
+//! In EGT technology a ROM is just a crossbar whose crosspoints are shorted
+//! by printing a conductive dot (PEDOT:PSS), which is why ROM bits are
+//! *cheaper than logic* (§V) and why lookup-based classifier architectures
+//! make sense in print while being hopeless in silicon. A ROM macro is
+//! priced as:
+//!
+//! * an address **decoder** (one AND tree per word line, with the first
+//!   inverter stage shared across the array — the "decoder reuse" the paper
+//!   leans on);
+//! * the **bit array** (`words × bits` crossbar cells, or only the *set*
+//!   bits when printed as bespoke dot resistors);
+//! * per-column **sense buffers**.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::CellKind;
+use crate::library::CellLibrary;
+use crate::units::{Area, Delay, Power};
+
+/// How the bit array is implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RomStyle {
+    /// Conventional crossbar: every bit position occupies a crosspoint cell,
+    /// set or clear.
+    Crossbar,
+    /// Bespoke one-time-programmed dot-resistor array (§V-A optimization 2):
+    /// a set bit is a printed dot; a clear bit is simply *not printed* and
+    /// costs no area and no static power.
+    BespokeDots,
+}
+
+/// Geometry and contents summary of one ROM macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RomSpec {
+    /// Number of addressable words.
+    pub words: usize,
+    /// Bits per word.
+    pub bits: usize,
+    /// Number of set ('1') bits across the whole array. Only used by
+    /// [`RomStyle::BespokeDots`]; a conventional crossbar pays for every bit.
+    pub set_bits: usize,
+    /// Bit-array implementation style.
+    pub style: RomStyle,
+}
+
+impl RomSpec {
+    /// Conventional crossbar ROM of `words × bits`.
+    pub fn crossbar(words: usize, bits: usize) -> Self {
+        RomSpec { words, bits, set_bits: words * bits, style: RomStyle::Crossbar }
+    }
+
+    /// Bespoke dot-resistor ROM with `set_bits` printed dots.
+    pub fn bespoke(words: usize, bits: usize, set_bits: usize) -> Self {
+        RomSpec { words, bits, set_bits, style: RomStyle::BespokeDots }
+    }
+
+    /// Address width in bits (`ceil(log2(words))`, minimum 1).
+    pub fn address_bits(&self) -> usize {
+        if self.words <= 1 {
+            1
+        } else {
+            (usize::BITS - (self.words - 1).leading_zeros()) as usize
+        }
+    }
+}
+
+/// Priced ROM macro with a cost breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RomCost {
+    /// Decoder contribution (shared across all columns).
+    pub decoder_area: Area,
+    /// Bit-array contribution.
+    pub array_area: Area,
+    /// Sense-buffer contribution.
+    pub sense_area: Area,
+    /// Total macro area.
+    pub area: Area,
+    /// Total static power.
+    pub power: Power,
+    /// Address-valid to data-valid read latency.
+    pub delay: Delay,
+}
+
+/// Prices `spec` in the given technology library.
+///
+/// The decoder is priced as a NOR-plane crossbar (`words × address_bits`
+/// crosspoint cells behind a shared inverter rank) — how printed ROM row
+/// selection is actually built (the §V-B prototype selects rows with pass
+/// EGTs, not AND-gate trees). Per unshared lookup the decoder still
+/// dominates small arrays, which is why a lone ROM comparison loses to
+/// logic and "decoder reuse" across comparisons is what makes lookup-based
+/// classifiers win.
+///
+/// Read delay grows gently with depth (longer word lines): the bit-cell
+/// delay is scaled by `1 + address_bits / 4`.
+///
+/// ```
+/// use pdk::{CellLibrary, Technology};
+/// use pdk::rom::{rom_cost, RomSpec};
+/// let lib = CellLibrary::for_technology(Technology::Egt);
+/// let full = rom_cost(&RomSpec::crossbar(16, 8), &lib);
+/// let dots = rom_cost(&RomSpec::bespoke(16, 8, 16), &lib);
+/// assert!(dots.area < full.area); // clear bits are free when printed as dots
+/// ```
+pub fn rom_cost(spec: &RomSpec, lib: &CellLibrary) -> RomCost {
+    let abits = spec.address_bits();
+    let inv = lib.cost(CellKind::Inv);
+    let buf = lib.cost(CellKind::Buf);
+    let bit = lib.cost(match spec.style {
+        RomStyle::Crossbar => CellKind::RomBit,
+        RomStyle::BespokeDots => CellKind::RomDot,
+    });
+    // A bespoke ROM's decoder plane is itself one-time printed: each of
+    // its `words x address_bits` connections is a dot. Conventional
+    // crossbar ROMs pay the full addressable cell.
+    let plane_cell = lib.cost(match spec.style {
+        RomStyle::Crossbar => CellKind::RomBit,
+        RomStyle::BespokeDots => CellKind::RomDot,
+    });
+
+    // Decoder: shared true/complement inverter rank + NOR-plane crossbar.
+    let decoder_cells = spec.words * abits;
+    let decoder_area = inv.area * abits as f64 + plane_cell.area * decoder_cells as f64;
+    let decoder_power = inv.power * abits as f64 + plane_cell.power * decoder_cells as f64;
+    let decoder_delay = inv.delay + plane_cell.delay;
+
+    let paid_bits = match spec.style {
+        RomStyle::Crossbar => spec.words * spec.bits,
+        RomStyle::BespokeDots => spec.set_bits,
+    };
+    let array_area = bit.area * paid_bits as f64;
+    let array_power = bit.power * paid_bits as f64;
+
+    // Read-out is a sense resistor per column (the §V-B prototype reads
+    // across R_sense), priced as one crossbar cell rather than logic.
+    let sense_cell = lib.cost(CellKind::RomBit);
+    let sense_area = sense_cell.area * spec.bits as f64;
+    let sense_power = sense_cell.power * spec.bits as f64;
+
+    let depth_factor = 2.0 + abits as f64 / 2.0;
+
+    RomCost {
+        decoder_area,
+        array_area,
+        sense_area,
+        area: decoder_area + array_area + sense_area,
+        power: decoder_power + array_power + sense_power,
+        delay: decoder_delay + bit.delay * depth_factor + buf.delay,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::Technology;
+
+    fn egt() -> CellLibrary {
+        CellLibrary::for_technology(Technology::Egt)
+    }
+
+    #[test]
+    fn address_bits_are_ceil_log2() {
+        assert_eq!(RomSpec::crossbar(1, 8).address_bits(), 1);
+        assert_eq!(RomSpec::crossbar(2, 8).address_bits(), 1);
+        assert_eq!(RomSpec::crossbar(3, 8).address_bits(), 2);
+        assert_eq!(RomSpec::crossbar(4, 8).address_bits(), 2);
+        assert_eq!(RomSpec::crossbar(255, 8).address_bits(), 8);
+        assert_eq!(RomSpec::crossbar(256, 8).address_bits(), 8);
+        assert_eq!(RomSpec::crossbar(257, 8).address_bits(), 9);
+    }
+
+    #[test]
+    fn bespoke_dots_scale_with_set_bits_only() {
+        let lib = egt();
+        let dense = rom_cost(&RomSpec::bespoke(16, 8, 128), &lib);
+        let sparse = rom_cost(&RomSpec::bespoke(16, 8, 10), &lib);
+        assert!(sparse.array_area < dense.array_area);
+        assert_eq!(sparse.decoder_area, dense.decoder_area);
+        // An all-clear bespoke array costs no array area at all.
+        let empty = rom_cost(&RomSpec::bespoke(16, 8, 0), &lib);
+        assert!(empty.array_area.is_zero());
+    }
+
+    #[test]
+    fn crossbar_pays_for_every_bit() {
+        let lib = egt();
+        let full = rom_cost(&RomSpec::crossbar(16, 8), &lib);
+        let expected = lib.area(crate::cell::CellKind::RomBit) * 128.0;
+        assert!((full.array_area.as_mm2() - expected.as_mm2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decoder_dominates_tiny_roms() {
+        // §V: "a ROM-based comparison is always more expensive than its
+        // logic-based counterpart" unless the decoder is shared — because
+        // the decoder is the expensive piece for small arrays.
+        let lib = egt();
+        let small = rom_cost(&RomSpec::crossbar(256, 1), &lib);
+        assert!(small.decoder_area > small.array_area);
+    }
+
+    #[test]
+    fn totals_are_component_sums() {
+        let lib = egt();
+        let c = rom_cost(&RomSpec::crossbar(64, 8), &lib);
+        let sum = c.decoder_area + c.array_area + c.sense_area;
+        assert!((c.area.as_mm2() - sum.as_mm2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_roms_cost_more() {
+        let lib = egt();
+        let small = rom_cost(&RomSpec::crossbar(16, 4), &lib);
+        let big = rom_cost(&RomSpec::crossbar(64, 8), &lib);
+        assert!(big.area > small.area);
+        assert!(big.power > small.power);
+        assert!(big.delay >= small.delay);
+    }
+}

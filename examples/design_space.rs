@@ -1,0 +1,105 @@
+//! Full design-space sweep for one application.
+//!
+//! The paper's Fig. 1 overview, as a program: for a chosen application,
+//! sweep every architecture family across all three technologies and print
+//! the whole landscape — with the silicon sanity check from §VII (an
+//! EGT design is never competitive with CMOS on PPA; the case for printing
+//! is cost, conformity and time-to-market).
+//!
+//! ```text
+//! cargo run --release --example design_space [dataset]
+//! ```
+//!
+//! `dataset` is one of `arrhythmia cardio gasid har pendigits redwine
+//! whitewine` (default `pendigits`).
+
+use printed_ml::analog::AnalogTreeConfig;
+use printed_ml::core::flow::{SvmArch, TreeArch, TreeFlow, SvmFlow};
+use printed_ml::core::LookupConfig;
+use printed_ml::ml::synth::Application;
+use printed_ml::pdk::Technology;
+
+fn pick_app() -> Application {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "pendigits".into());
+    Application::ALL
+        .into_iter()
+        .find(|a| a.name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown dataset {name}, using pendigits");
+            Application::Pendigits
+        })
+}
+
+fn main() {
+    let app = pick_app();
+    println!("== design space for {} ==\n", app.name());
+
+    let flow = TreeFlow::new(app, 4, 7);
+    println!(
+        "decision tree: depth {}, {} nodes, {} bits, accuracy {:.3}",
+        flow.qt.depth(),
+        flow.qt.comparison_count(),
+        flow.choice.bits,
+        flow.choice.accuracy
+    );
+    let tree_archs: Vec<(&str, TreeArch, Vec<Technology>)> = vec![
+        ("conv-serial", TreeArch::ConventionalSerial, Technology::ALL.to_vec()),
+        ("conv-parallel", TreeArch::ConventionalParallel, Technology::ALL.to_vec()),
+        ("bespoke-serial", TreeArch::BespokeSerial, Technology::ALL.to_vec()),
+        ("bespoke-parallel", TreeArch::BespokeParallel, Technology::ALL.to_vec()),
+        ("lookup+opt", TreeArch::Lookup(LookupConfig::optimized()), Technology::ALL.to_vec()),
+        ("analog", TreeArch::Analog(AnalogTreeConfig::default()), vec![Technology::Egt]),
+    ];
+    println!(
+        "\n{:>17} {:>9} {:>12} {:>12} {:>12} {:>18}",
+        "architecture", "tech", "latency", "area", "power", "powered by"
+    );
+    for (name, arch, techs) in &tree_archs {
+        for &tech in techs {
+            let r = flow.report(*arch, tech);
+            println!(
+                "{:>17} {:>9} {:>12} {:>12} {:>12} {:>18}",
+                name,
+                tech.to_string(),
+                r.latency.to_string(),
+                r.area.to_string(),
+                r.power.to_string(),
+                if tech.is_printed() { r.feasibility().source_name() } else { "-" }
+            );
+        }
+    }
+
+    // §VII's sober note: silicon wins PPA outright.
+    let egt = flow.report(TreeArch::BespokeParallel, Technology::Egt);
+    let si = flow.report(TreeArch::BespokeParallel, Technology::Tsmc40);
+    println!(
+        "\nsilicon check: EGT is {:.0}x larger and {:.0}x slower than TSMC-40nm — \
+         the argument for printing is cost/conformity/toxicity, never PPA",
+        egt.area.ratio(si.area),
+        egt.latency.ratio(si.latency)
+    );
+
+    let svm = SvmFlow::new(app, 7);
+    println!(
+        "\nSVM-R: {} MAC terms, {} bits, accuracy {:.3}",
+        svm.qs.mac_count(),
+        svm.choice.bits,
+        svm.choice.accuracy
+    );
+    for (name, arch) in [
+        ("bespoke", SvmArch::Bespoke),
+        ("lookup+opt", SvmArch::Lookup(LookupConfig::optimized())),
+        ("analog", SvmArch::Analog),
+    ] {
+        let r = svm.report(arch, Technology::Egt);
+        println!(
+            "{:>17} {:>9} {:>12} {:>12} {:>12} {:>18}",
+            name,
+            "EGT",
+            r.latency.to_string(),
+            r.area.to_string(),
+            r.power.to_string(),
+            r.feasibility().source_name()
+        );
+    }
+}

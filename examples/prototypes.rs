@@ -1,0 +1,146 @@
+//! Re-runs the paper's three fabricated prototypes in simulation.
+//!
+//! 1. §IV-C — the 2-bit, depth-2 **bespoke digital decision tree** with
+//!    threshold 102 scaled into the 2-bit domain: exhaustive input sweep,
+//!    checking exactly one class line is active at a time (Fig. 5's
+//!    transient measurement, as a truth table).
+//! 2. §V-B — the **4×1 one-time-programmable multi-level ROM** (2 bits per
+//!    dot-resistor element): DC read-out levels and the scope-style
+//!    transient of a 4-row read sweep (Fig. 14c).
+//! 3. §VI-B — the **2-level analog decision tree** (11 EGTs, 3 printed
+//!    resistors): transient node voltages for all input combinations and
+//!    the worst-case output margin against the measured 405 mV (Fig. 15c).
+//!
+//! ```text
+//! cargo run --release --example prototypes
+//! ```
+
+use printed_ml::analog::{digital_tree_transients, two_level_tree_transients, MultiLevelRom};
+use printed_ml::core::bespoke::bespoke_parallel;
+use printed_ml::ml::quant::{QNode, QuantizedTree};
+use printed_ml::netlist::Simulator;
+
+/// Hand-built 2-bit full depth-2 tree mirroring the fabricated prototype:
+/// root tests x1, both split nodes test x2; thresholds at the 2-bit
+/// mid-scale (the paper's "threshold 102" lives in an 8-bit domain; at 2
+/// bits that is code 1). Classes C1..C4 are the four leaves.
+fn prototype_tree() -> QuantizedTree {
+    // Build via the public QNode structure by quantizing a hand-made
+    // DecisionTree is roundabout; instead construct the QuantizedTree by
+    // quantizing a trivially trained tree would not guarantee the shape.
+    // The ml crate exposes QuantizedTree only through quantization, so we
+    // assemble a dataset that trains to exactly this full tree.
+    use printed_ml::ml::quant::FeatureQuantizer;
+    use printed_ml::ml::tree::{DecisionTree, TreeParams};
+    use printed_ml::ml::Dataset;
+    // 2 features in [0,3]; class = 2*(x1>1) + (x2>1).
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for a in 0..4 {
+        for b in 0..4 {
+            for _ in 0..4 {
+                x.push(vec![a as f64, b as f64]);
+                y.push(2 * ((a > 1) as usize) + ((b > 1) as usize));
+            }
+        }
+    }
+    let data = Dataset::new("proto", x, y, 4);
+    let tree = DecisionTree::fit(&data, TreeParams::with_depth(2));
+    let fq = FeatureQuantizer::fit(&data, 2);
+    let qt = QuantizedTree::from_tree(&tree, &fq);
+    assert_eq!(qt.comparison_count(), 3, "prototype must be a full depth-2 tree");
+    qt
+}
+
+fn main() {
+    println!("== prototype 1: bespoke digital depth-2 decision tree (§IV-C) ==\n");
+    let qt = prototype_tree();
+    if let QNode::Split { feature, threshold, .. } = &qt.nodes()[0] {
+        println!("root: x{} > {threshold}", feature + 1);
+    }
+    let module = bespoke_parallel(&qt);
+    println!(
+        "printed netlist: {} gates, {} transistors\n",
+        module.gate_count(),
+        module.transistor_count()
+    );
+    let mut sim = Simulator::new(&module);
+    println!("x1 x2 | C1 C2 C3 C4   (exactly one class line active)");
+    for x1 in 0..4u64 {
+        for x2 in 0..4u64 {
+            sim.set("f0", x1);
+            sim.set("f1", x2);
+            sim.settle();
+            let class = sim.get("class");
+            let onehot: Vec<&str> =
+                (0..4).map(|c| if c == class { " 1" } else { " 0" }).collect();
+            println!(" {x1}  {x2} |{}", onehot.join(" "));
+            assert_eq!(class as usize, qt.predict(&[x1, x2]));
+        }
+    }
+    println!("fully functional: hardware matches the trained tree on all 16 inputs");
+
+    // Scope-style transient of one input step (Fig. 5, right panel).
+    sim.set("f0", 0);
+    sim.set("f1", 3);
+    sim.settle();
+    let class = sim.get("class");
+    let mut levels = [false; 4];
+    levels[class as usize] = true;
+    let traces = digital_tree_transients(levels, 12e-3, 120);
+    println!("transient after input step (class {class} active):");
+    for (c, w) in traces.iter().enumerate() {
+        println!(
+            "  C{}: settles to {:.2} V in {:.1} ms",
+            c + 1,
+            w.settled(),
+            w.settling_time(0.05) * 1e3
+        );
+    }
+    println!();
+
+    println!("== prototype 2: 4x1 multi-level printed ROM (§V-B) ==\n");
+    let rom = MultiLevelRom::paper_prototype();
+    println!("row | R (vs Rsense) | Vout  | decoded bits");
+    for (row, label) in ["2*Rs", "inf (not printed)", "Rs/2", "~0 (max dot)"].iter().enumerate() {
+        println!(
+            "  {row} | {label:>17} | {:.2} V | {:02b}",
+            rom.read_voltage(row),
+            rom.read(row)
+        );
+    }
+    println!("whole array: 0b{:08b} (8 bits in 4 elements)", rom.read_all());
+    let sweep = rom.read_transient(20e-3, 200);
+    println!(
+        "transient read sweep: {} samples over {:.0} ms, settles to {:.2} V",
+        sweep.times.len(),
+        sweep.times.last().unwrap() * 1e3,
+        sweep.settled()
+    );
+    println!(
+        "measured prototype: area {}, read power {}, read delay {}\n",
+        rom.area(),
+        rom.read_power(),
+        rom.read_delay()
+    );
+
+    println!("== prototype 3: 2-level analog decision tree (§VI-B) ==\n");
+    println!("x1  x2  | S1 S2 | C3 C4");
+    for (x1, x2) in [(0.9, 0.9), (0.9, 0.1), (0.1, 0.9), (0.1, 0.1)] {
+        let (s1, s2, c3, c4) = two_level_tree_transients(x1, x2, 30e-3, 200);
+        println!(
+            "{x1:.1} {x2:.1} |  {:.0}  {:.0} |  {:.0}  {:.0}",
+            s1.settled(),
+            s2.settled(),
+            c3.settled(),
+            c4.settled()
+        );
+    }
+    let (s1, s2, _, _) = two_level_tree_transients(0.9, 0.5, 30e-3, 200);
+    let margin = s1.margin_against(&s2);
+    println!(
+        "\nworst-case settled output margin: {:.0} mV (fabricated prototype measured 405 mV)",
+        margin * 1e3
+    );
+    assert!(margin > 0.405);
+}

@@ -1,0 +1,282 @@
+//! `printed-ml` — command-line front end for the classifier generator.
+//!
+//! The flow a downstream user actually wants: pick a dataset (or bring
+//! your own via the library), pick an architecture and technology, get a
+//! PPA report, a power-source verdict, and optionally the Verilog plus a
+//! self-checking testbench.
+//!
+//! ```text
+//! printed-ml list
+//! printed-ml report    --app cardio --depth 4 --arch bespoke-parallel --tech egt
+//! printed-ml generate  --app cardio --depth 4 --arch bespoke-parallel \
+//!                      --verilog tree.v --testbench tb.v
+//! printed-ml sweep     --app redwine --depth 4
+//! ```
+
+#![allow(clippy::print_literal)] // aligned table headers
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use printed_ml::analog::AnalogTreeConfig;
+use printed_ml::core::flow::{SvmArch, SvmFlow, TreeArch, TreeFlow};
+use printed_ml::core::LookupConfig;
+use printed_ml::ml::synth::Application;
+use printed_ml::netlist::{to_testbench, to_verilog};
+use printed_ml::pdk::Technology;
+
+fn usage() -> &'static str {
+    "printed-ml — printed machine-learning classifier generator\n\
+     \n\
+     USAGE:\n\
+       printed-ml list\n\
+       printed-ml report   --app <dataset> [--depth N] [--arch ARCH] [--tech TECH] [--svm]\n\
+       printed-ml generate --app <dataset> [--depth N] [--arch ARCH] [--svm]\n\
+                           [--verilog PATH] [--testbench PATH]\n\
+       printed-ml sweep    --app <dataset> [--depth N]\n\
+     \n\
+     ARCH (trees): conv-serial | conv-parallel | bespoke-serial |\n\
+                   bespoke-parallel | lookup | lookup-opt | analog\n\
+     ARCH (--svm): conv | bespoke | lookup | lookup-opt | analog\n\
+     TECH:         egt | cnt | tsmc40\n\
+     \n\
+     Defaults: --depth 4, --arch bespoke-parallel (trees) / bespoke (svm),\n\
+               --tech egt, seed 7."
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if name == "svm" {
+                flags.insert("svm".to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let value =
+                    args.get(i + 1).ok_or_else(|| format!("--{name} requires a value"))?;
+                flags.insert(name.to_string(), value.clone());
+                i += 2;
+            }
+        } else {
+            return Err(format!("unexpected argument {a}"));
+        }
+    }
+    Ok(flags)
+}
+
+fn parse_app(flags: &HashMap<String, String>) -> Result<Application, String> {
+    let name = flags.get("app").ok_or("--app is required")?;
+    Application::ALL
+        .into_iter()
+        .find(|a| a.name() == name.as_str())
+        .ok_or_else(|| {
+            format!(
+                "unknown dataset {name}; available: {}",
+                Application::ALL.map(|a| a.name()).join(" ")
+            )
+        })
+}
+
+fn parse_tech(flags: &HashMap<String, String>) -> Result<Technology, String> {
+    match flags.get("tech").map(String::as_str).unwrap_or("egt") {
+        "egt" => Ok(Technology::Egt),
+        "cnt" | "cnt-tft" => Ok(Technology::CntTft),
+        "tsmc40" | "si" | "silicon" => Ok(Technology::Tsmc40),
+        other => Err(format!("unknown technology {other}")),
+    }
+}
+
+fn parse_tree_arch(name: &str) -> Result<TreeArch, String> {
+    Ok(match name {
+        "conv-serial" => TreeArch::ConventionalSerial,
+        "conv-parallel" => TreeArch::ConventionalParallel,
+        "bespoke-serial" => TreeArch::BespokeSerial,
+        "bespoke-parallel" => TreeArch::BespokeParallel,
+        "lookup" => TreeArch::Lookup(LookupConfig::baseline()),
+        "lookup-opt" => TreeArch::Lookup(LookupConfig::optimized()),
+        "analog" => TreeArch::Analog(AnalogTreeConfig::default()),
+        other => return Err(format!("unknown tree architecture {other}")),
+    })
+}
+
+fn parse_svm_arch(name: &str) -> Result<SvmArch, String> {
+    Ok(match name {
+        "conv" => SvmArch::Conventional,
+        "bespoke" => SvmArch::Bespoke,
+        "lookup" => SvmArch::Lookup(LookupConfig::baseline()),
+        "lookup-opt" => SvmArch::Lookup(LookupConfig::optimized()),
+        "analog" => SvmArch::Analog,
+        other => return Err(format!("unknown svm architecture {other}")),
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        println!("{}", usage());
+        return Ok(());
+    };
+    match command.as_str() {
+        "list" => {
+            println!("datasets:");
+            for app in Application::ALL {
+                let d = app.generate(7);
+                println!(
+                    "  {:<11} {:>4} features, {:>2} classes, {:>5} samples",
+                    app.name(),
+                    d.n_features(),
+                    d.n_classes,
+                    d.len()
+                );
+            }
+            Ok(())
+        }
+        "report" | "generate" | "sweep" => {
+            let flags = parse_flags(&args[1..])?;
+            let app = parse_app(&flags)?;
+            let depth: usize = flags
+                .get("depth")
+                .map(|d| d.parse().map_err(|_| format!("bad depth {d}")))
+                .transpose()?
+                .unwrap_or(4);
+            let tech = parse_tech(&flags)?;
+            let is_svm = flags.contains_key("svm");
+            match command.as_str() {
+                "report" => {
+                    if is_svm {
+                        let arch = parse_svm_arch(
+                            flags.get("arch").map(String::as_str).unwrap_or("bespoke"),
+                        )?;
+                        let flow = SvmFlow::new(app, 7);
+                        println!(
+                            "model: SVM-R, {} terms, {} bits, accuracy {:.3}",
+                            flow.qs.mac_count(),
+                            flow.choice.bits,
+                            flow.choice.accuracy
+                        );
+                        let r = flow.report(arch, tech);
+                        println!("{r}");
+                        println!("power: {}", r.feasibility());
+                    } else {
+                        let arch = parse_tree_arch(
+                            flags.get("arch").map(String::as_str).unwrap_or("bespoke-parallel"),
+                        )?;
+                        let flow = TreeFlow::new(app, depth, 7);
+                        println!(
+                            "model: DT-{depth}, {} nodes, {} bits, accuracy {:.3}",
+                            flow.qt.comparison_count(),
+                            flow.choice.bits,
+                            flow.choice.accuracy
+                        );
+                        let r = flow.report(arch, tech);
+                        println!("{r}");
+                        println!("power: {}", r.feasibility());
+                    }
+                    Ok(())
+                }
+                "generate" => {
+                    let module = if is_svm {
+                        let arch = parse_svm_arch(
+                            flags.get("arch").map(String::as_str).unwrap_or("bespoke"),
+                        )?;
+                        SvmFlow::new(app, 7)
+                            .module(arch)
+                            .ok_or("analog designs have no netlist; use `report`")?
+                    } else {
+                        let arch = parse_tree_arch(
+                            flags.get("arch").map(String::as_str).unwrap_or("bespoke-parallel"),
+                        )?;
+                        TreeFlow::new(app, depth, 7)
+                            .module(arch)
+                            .ok_or("analog designs have no netlist; use `report`")?
+                    };
+                    println!(
+                        "generated {}: {} gates, {} ROMs, {} nets",
+                        module.name,
+                        module.gate_count(),
+                        module.roms.len(),
+                        module.net_count()
+                    );
+                    if let Some(path) = flags.get("verilog") {
+                        std::fs::write(path, to_verilog(&module))
+                            .map_err(|e| format!("writing {path}: {e}"))?;
+                        println!("wrote {path}");
+                    }
+                    if let Some(path) = flags.get("testbench") {
+                        // A small smoke set: zero, all-ones, and ramps.
+                        let width_max: u64 = module
+                            .inputs
+                            .iter()
+                            .map(|p| (1u64 << p.width().min(16)) - 1)
+                            .max()
+                            .unwrap_or(1);
+                        let n = module.inputs.len();
+                        let vectors: Vec<Vec<u64>> = (0..8u64)
+                            .map(|k| {
+                                (0..n)
+                                    .map(|i| (k * 37 + i as u64 * 11) % (width_max + 1))
+                                    .collect()
+                            })
+                            .collect();
+                        std::fs::write(path, to_testbench(&module, &vectors, depth.max(1)))
+                            .map_err(|e| format!("writing {path}: {e}"))?;
+                        println!("wrote {path}");
+                    }
+                    Ok(())
+                }
+                "sweep" => {
+                    let flow = TreeFlow::new(app, depth, 7);
+                    println!(
+                        "{:<18} {:<9} {:>12} {:>12} {:>12}  {}",
+                        "architecture", "tech", "latency", "area", "power", "powered by"
+                    );
+                    for (name, arch) in [
+                        ("conv-serial", TreeArch::ConventionalSerial),
+                        ("conv-parallel", TreeArch::ConventionalParallel),
+                        ("bespoke-serial", TreeArch::BespokeSerial),
+                        ("bespoke-parallel", TreeArch::BespokeParallel),
+                        ("lookup-opt", TreeArch::Lookup(LookupConfig::optimized())),
+                        ("analog", TreeArch::Analog(AnalogTreeConfig::default())),
+                    ] {
+                        let techs: &[Technology] = if matches!(arch, TreeArch::Analog(_)) {
+                            &[Technology::Egt]
+                        } else {
+                            &[tech]
+                        };
+                        for &t in techs {
+                            let r = flow.report(arch, t);
+                            println!(
+                                "{:<18} {:<9} {:>12} {:>12} {:>12}  {}",
+                                name,
+                                t.to_string(),
+                                r.latency.to_string(),
+                                r.area.to_string(),
+                                r.power.to_string(),
+                                r.feasibility().source_name()
+                            );
+                        }
+                    }
+                    Ok(())
+                }
+                _ => unreachable!(),
+            }
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Integration-level assertions over the ablation findings — the
+//! statements EXPERIMENTS.md makes about our own extensions must keep
+//! holding, not just print once.
+
+use printed_ml::core::ensemble::ForestStyle;
+use printed_ml::core::flow::{ForestFlow, TreeArch, TreeFlow};
+use printed_ml::core::LookupConfig;
+use printed_ml::ml::metrics::accuracy;
+use printed_ml::ml::synth::Application;
+use printed_ml::netlist::{analyze, insert_buffers, max_fanout};
+use printed_ml::pdk::{CellLibrary, Technology};
+
+#[test]
+fn fanout_repair_is_monotone_in_the_limit() {
+    // Tighter limits cost strictly more area and never less delay.
+    let flow = TreeFlow::new(Application::Pendigits, 6, 7);
+    let module = flow.module(TreeArch::BespokeParallel).unwrap();
+    let lib = CellLibrary::for_technology(Technology::Egt);
+    let mut prev_area = analyze(&module, &lib).area;
+    for limit in [8usize, 4, 2] {
+        let repaired = insert_buffers(&module, limit);
+        assert!(max_fanout(&repaired) <= limit);
+        let ppa = analyze(&repaired, &lib);
+        assert!(ppa.area >= prev_area, "limit {limit} shrank the design");
+        prev_area = ppa.area;
+    }
+}
+
+#[test]
+fn drift_degrades_accuracy_monotonically_on_gasid() {
+    let flow = TreeFlow::new(Application::GasId, 4, 7);
+    let mut prev = f64::INFINITY;
+    for drift in [0.0, 0.25, 0.5, 1.0] {
+        let drifted = flow.test.with_drift(drift, 7);
+        let acc = accuracy(
+            drifted.x.iter().map(|r| flow.qt.predict(&flow.fq.code_row(r))),
+            drifted.y.iter().copied(),
+        );
+        assert!(acc <= prev + 0.02, "drift {drift}: accuracy rose {prev} -> {acc}");
+        prev = acc;
+    }
+    assert!(prev < 0.85, "1-sigma drift should visibly hurt GasID ({prev})");
+}
+
+#[test]
+fn bent_corner_is_strictly_worse_but_functional() {
+    let flow = TreeFlow::new(Application::Cardio, 4, 7);
+    let module = flow.module(TreeArch::BespokeParallel).unwrap();
+    let nominal = CellLibrary::for_technology(Technology::Egt);
+    let bent = nominal.bent_corner();
+    let p0 = analyze(&module, &nominal);
+    let p1 = analyze(&module, &bent);
+    assert!(p1.delay > p0.delay);
+    assert!(p1.power > p0.power);
+    assert_eq!(p1.area.as_mm2(), p0.area.as_mm2(), "bending does not change area");
+}
+
+#[test]
+fn lookup_forests_beat_lookup_single_trees_on_sharing() {
+    // The cross-tree decoder-sharing claim, at the flow level.
+    let flow = ForestFlow::new(Application::Pendigits, 4, 7);
+    let lib = CellLibrary::for_technology(Technology::Egt);
+    // Use a 4-bit forest for LUT-friendly widths.
+    let data = Application::Pendigits.generate(7);
+    let (train, _) = data.split(0.7, 42);
+    let forest = printed_ml::ml::forest::RandomForest::fit(
+        &train,
+        printed_ml::ml::forest::ForestParams::paper(4),
+    );
+    let fq = printed_ml::ml::quant::FeatureQuantizer::fit(&train, 4);
+    let qf = printed_ml::ml::quant::QuantizedForest::from_forest(&forest, &fq);
+    let bespoke = analyze(
+        &printed_ml::core::ensemble::forest_engine(&qf, ForestStyle::Bespoke),
+        &lib,
+    );
+    let lookup = analyze(
+        &printed_ml::core::ensemble::forest_engine(
+            &qf,
+            ForestStyle::Lookup(LookupConfig::optimized()),
+        ),
+        &lib,
+    );
+    let forest_gain = bespoke.area.ratio(lookup.area);
+    // Single member tree, same width.
+    let single = qf.trees()[0].clone();
+    let single_bespoke =
+        analyze(&printed_ml::core::bespoke::bespoke_parallel(&single), &lib);
+    let single_lookup = analyze(
+        &printed_ml::core::lookup::lookup_parallel(&single, LookupConfig::optimized()),
+        &lib,
+    );
+    let single_gain = single_bespoke.area.ratio(single_lookup.area);
+    assert!(
+        forest_gain > single_gain,
+        "ensembles must amortize decoders better: forest {forest_gain} vs single {single_gain}"
+    );
+    let _ = flow;
+}
+
+#[test]
+fn serial_svm_is_slower_and_thriftier_on_multipliers() {
+    use printed_ml::core::bespoke::bespoke_svm;
+    use printed_ml::core::serial_svm;
+    let data = Application::RedWine.generate(7);
+    let (train, _) = data.split(0.7, 42);
+    let s = printed_ml::ml::Standardizer::fit(&train);
+    let train = s.transform(&train);
+    let svm = printed_ml::ml::SvmRegressor::fit(&train, 150, 1e-4);
+    let fq = printed_ml::ml::quant::FeatureQuantizer::fit(&train, 8);
+    let qs = printed_ml::ml::quant::QuantizedSvm::from_svm(&svm, &fq);
+    let lib = CellLibrary::for_technology(Technology::Egt);
+    let parallel = analyze(&bespoke_svm(&qs), &lib);
+    let (module, info) = serial_svm(&qs);
+    let serial = analyze(&module, &lib);
+    assert!(info.cycles > 1);
+    assert!(serial.latency(info.cycles) > parallel.latency(1), "serial must be slower");
+    assert!(
+        serial.logic_area < parallel.logic_area,
+        "one multiplier beats {} multipliers in logic: {} vs {}",
+        qs.mac_count(),
+        serial.logic_area,
+        parallel.logic_area
+    );
+}

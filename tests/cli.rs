@@ -1,0 +1,100 @@
+//! End-to-end tests of the `printed-ml` command-line interface.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_printed-ml"))
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = cli().args(args).output().expect("spawn printed-ml");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let (stdout, _, ok) = run(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn list_names_all_seven_datasets() {
+    let (stdout, _, ok) = run(&["list"]);
+    assert!(ok);
+    for name in ["arrhythmia", "cardio", "gasid", "har", "pendigits", "redwine", "whitewine"] {
+        assert!(stdout.contains(name), "missing {name}:\n{stdout}");
+    }
+}
+
+#[test]
+fn report_prints_ppa_and_power_verdict() {
+    let (stdout, _, ok) =
+        run(&["report", "--app", "har", "--depth", "2", "--arch", "bespoke-parallel"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("model: DT-2"));
+    assert!(stdout.contains("power:"));
+    assert!(stdout.contains("EGT"));
+}
+
+#[test]
+fn generate_writes_verilog_and_testbench() {
+    let dir = std::env::temp_dir().join(format!("printed-ml-cli-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    let v = dir.join("t.v");
+    let tb = dir.join("tb.v");
+    let (stdout, _, ok) = run(&[
+        "generate",
+        "--app",
+        "har",
+        "--depth",
+        "2",
+        "--verilog",
+        v.to_str().unwrap(),
+        "--testbench",
+        tb.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}");
+    let vtext = std::fs::read_to_string(&v).unwrap();
+    assert!(vtext.contains("module bespoke_parallel_tree"));
+    let tbtext = std::fs::read_to_string(&tb).unwrap();
+    assert!(tbtext.contains("module tb;"));
+    assert!(tbtext.contains("PASS"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_dataset_fails_with_a_helpful_error() {
+    let (_, stderr, ok) = run(&["report", "--app", "nonsense"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown dataset"));
+    assert!(stderr.contains("available"));
+}
+
+#[test]
+fn unknown_arch_fails() {
+    let (_, stderr, ok) = run(&["report", "--app", "har", "--arch", "magic"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown tree architecture"));
+}
+
+#[test]
+fn svm_report_works() {
+    let (stdout, _, ok) = run(&["report", "--app", "redwine", "--svm", "--arch", "analog"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("SVM-R"));
+    assert!(stdout.contains("analog"));
+}
+
+#[test]
+fn sweep_covers_all_architectures() {
+    let (stdout, _, ok) = run(&["sweep", "--app", "har", "--depth", "2"]);
+    assert!(ok);
+    for arch in ["conv-serial", "conv-parallel", "bespoke-serial", "bespoke-parallel", "lookup-opt", "analog"] {
+        assert!(stdout.contains(arch), "missing {arch}:\n{stdout}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Golden regression tests: pin the deterministic quantities of the
+//! seed-7 reproduction pipeline so refactors that silently change results
+//! fail loudly. Every value here was produced by the recorded
+//! `repro_all` run documented in EXPERIMENTS.md; if an intentional change
+//! moves one, update it *and* EXPERIMENTS.md together.
+
+use printed_ml::ml::opcount::CountOps;
+use printed_ml::ml::synth::Application;
+use printed_ml::ml::tree::{DecisionTree, TreeParams};
+use printed_ml::ml::{LogisticRegression, SvmClassifier};
+
+#[test]
+fn dataset_shapes_are_pinned() {
+    let expect = [
+        (Application::Arrhythmia, 263, 11, 452),
+        (Application::Cardio, 19, 3, 2126),
+        (Application::GasId, 127, 6, 2000),
+        (Application::Har, 12, 5, 3000),
+        (Application::Pendigits, 16, 10, 5000),
+        (Application::RedWine, 11, 6, 1599),
+        (Application::WhiteWine, 11, 7, 4898),
+    ];
+    for (app, features, classes, samples) in expect {
+        let d = app.generate(7);
+        assert_eq!(
+            (d.n_features(), d.n_classes, d.len()),
+            (features, classes, samples),
+            "{}",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn formula_exact_op_counts_match_the_paper_cells() {
+    // These equal the published Table II entries exactly because they are
+    // determined by dataset shape, not training noise.
+    let arr = Application::Arrhythmia.generate(7);
+    let svm_c = SvmClassifier::fit(&arr, 1, 1e-3, 7);
+    assert_eq!(svm_c.op_count().macs, 14_465); // paper: "14k"
+    assert_eq!(svm_c.op_count().comparisons, 55);
+    let lr = LogisticRegression::fit(&arr, 1, 0.1);
+    assert_eq!(lr.op_count().macs, 2_893); // paper: 2893
+}
+
+#[test]
+fn seed7_tree_structures_are_stable() {
+    // Node counts of the seed-7 trained trees (not paper values — ours,
+    // pinned against accidental drift in training or data generation).
+    let counts: Vec<(Application, usize, usize)> = vec![
+        (Application::Cardio, 4, 14),
+        (Application::Har, 4, 14),
+        (Application::Pendigits, 4, 15),
+    ];
+    for (app, depth, expect_nodes) in counts {
+        let data = app.generate(7);
+        let (train, _) = data.split(0.7, 42);
+        let tree = DecisionTree::fit(&train, TreeParams::with_depth(depth));
+        assert_eq!(
+            tree.comparison_count(),
+            expect_nodes,
+            "{} depth {}: drifted to {} nodes",
+            app.name(),
+            depth,
+            tree.comparison_count()
+        );
+    }
+}
+
+#[test]
+fn conventional_engine_gate_counts_are_stable() {
+    use printed_ml::core::conventional::parallel_tree::{generate, ParallelTreeSpec};
+    use printed_ml::core::conventional::svm::{generate as gen_svm, SvmSpec};
+    // Structure-determined: depends only on the generators.
+    let dt4 = generate(&ParallelTreeSpec::conventional(4));
+    assert_eq!(dt4.dff_count(), 15 * 2 * 8 + 16 * 5);
+    let svm4 = gen_svm(&SvmSpec { width: 4, n_features: 8, n_boundaries: 3 });
+    // 8 features x (2 registers x 4b) + boundary registers 3 x sum_width.
+    let sum_width = SvmSpec { width: 4, n_features: 8, n_boundaries: 3 }.sum_width();
+    assert_eq!(svm4.dff_count(), 8 * 2 * 4 + 3 * sum_width);
+}
+
+#[test]
+fn width_search_choices_are_stable() {
+    use printed_ml::core::flow::TreeFlow;
+    // The §IV-A width search is deterministic at seed 7; pin its picks.
+    let picks: Vec<(Application, usize)> = vec![
+        (Application::Cardio, 8),
+        (Application::Har, 8),
+    ];
+    for (app, expect_bits) in picks {
+        let flow = TreeFlow::new(app, 4, 7);
+        assert_eq!(
+            flow.choice.bits,
+            expect_bits,
+            "{}: width search drifted to {} bits",
+            app.name(),
+            flow.choice.bits
+        );
+    }
+}

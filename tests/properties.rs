@@ -1,0 +1,322 @@
+//! Property-based tests over the core invariants of the reproduction.
+//!
+//! * hardware/software equivalence holds for *arbitrary* trained models,
+//!   not just the seven benchmark datasets;
+//! * the logic optimizer never changes a circuit's function;
+//! * quantization is monotone;
+//! * constant multipliers agree with integer multiplication for any
+//!   coefficient.
+
+use proptest::prelude::*;
+
+use printed_ml::core::bespoke::{bespoke_parallel, bespoke_svm};
+use printed_ml::core::lookup::{lookup_parallel, LookupConfig};
+use printed_ml::ml::quant::{FeatureQuantizer, QuantizedSvm, QuantizedTree};
+use printed_ml::ml::tree::{DecisionTree, TreeParams};
+use printed_ml::ml::{Dataset, SvmRegressor};
+use printed_ml::netlist::arith::const_multiply;
+use printed_ml::netlist::builder::NetlistBuilder;
+use printed_ml::netlist::ir::Signal;
+use printed_ml::netlist::{optimize, Simulator};
+use printed_ml::pdk::CellKind;
+
+/// Strategy: a small random labelled dataset (2-4 features, 2-4 classes).
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..=4, 2usize..=4, 20usize..=60, any::<u64>()).prop_map(
+        |(n_features, n_classes, n_samples, seed)| {
+            // Simple deterministic pseudo-random generator (no Date/rand
+            // state shared with the library under test).
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let mut x = Vec::with_capacity(n_samples);
+            let mut y = Vec::with_capacity(n_samples);
+            for _ in 0..n_samples {
+                let label = (next() * n_classes as f64) as usize % n_classes;
+                let row: Vec<f64> = (0..n_features)
+                    .map(|f| next() * 4.0 - 2.0 + (label as f64) * 0.4 * ((f % 2) as f64))
+                    .collect();
+                x.push(row);
+                y.push(label);
+            }
+            Dataset::new("prop", x, y, n_classes)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bespoke_parallel_equals_model_on_random_datasets(
+        data in dataset_strategy(),
+        depth in 1usize..=4,
+        bits in 3usize..=8,
+    ) {
+        let tree = DecisionTree::fit(&data, TreeParams::with_depth(depth));
+        let fq = FeatureQuantizer::fit(&data, bits);
+        let qt = QuantizedTree::from_tree(&tree, &fq);
+        let module = bespoke_parallel(&qt);
+        let mut sim = Simulator::new(&module);
+        let used = qt.used_features();
+        for row in data.x.iter().take(30) {
+            let codes = fq.code_row(row);
+            for (slot, &f) in used.iter().enumerate() {
+                sim.set(&format!("f{slot}"), codes[f]);
+            }
+            sim.settle();
+            prop_assert_eq!(sim.get("class") as usize, qt.predict(&codes));
+        }
+    }
+
+    #[test]
+    fn lookup_tree_equals_model_on_random_datasets(
+        data in dataset_strategy(),
+        depth in 1usize..=4,
+    ) {
+        let tree = DecisionTree::fit(&data, TreeParams::with_depth(depth));
+        let fq = FeatureQuantizer::fit(&data, 4);
+        let qt = QuantizedTree::from_tree(&tree, &fq);
+        let module = lookup_parallel(&qt, LookupConfig::optimized());
+        let mut sim = Simulator::new(&module);
+        let used = qt.used_features();
+        for row in data.x.iter().take(30) {
+            let codes = fq.code_row(row);
+            for (slot, &f) in used.iter().enumerate() {
+                sim.set(&format!("f{slot}"), codes[f]);
+            }
+            sim.settle();
+            prop_assert_eq!(sim.get("class") as usize, qt.predict(&codes));
+        }
+    }
+
+    #[test]
+    fn bespoke_svm_equals_model_on_random_datasets(data in dataset_strategy()) {
+        let svm = SvmRegressor::fit(&data, 60, 1e-3);
+        let fq = FeatureQuantizer::fit(&data, 6);
+        let qs = QuantizedSvm::from_svm(&svm, &fq);
+        let module = bespoke_svm(&qs);
+        let mut sim = Simulator::new(&module);
+        for row in data.x.iter().take(25) {
+            let codes = fq.code_row(row);
+            for &(f, _) in qs.pos_terms().iter().chain(qs.neg_terms()) {
+                sim.set(&format!("x{f}"), codes[f]);
+            }
+            sim.settle();
+            prop_assert_eq!(sim.get("class") as usize, qs.predict(&codes));
+        }
+    }
+
+    #[test]
+    fn optimizer_preserves_function_of_random_circuits(
+        seed in any::<u64>(),
+        n_gates in 4usize..40,
+        n_inputs in 2usize..6,
+    ) {
+        // Build a random combinational DAG mixing constants and nets.
+        let mut b = NetlistBuilder::new("random");
+        let inputs = b.input("x", n_inputs);
+        let mut pool: Vec<Signal> = inputs.clone();
+        pool.push(Signal::ZERO);
+        pool.push(Signal::ONE);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..n_gates {
+            let kinds = [
+                CellKind::Inv,
+                CellKind::And2,
+                CellKind::Or2,
+                CellKind::Nand2,
+                CellKind::Nor2,
+                CellKind::Xor2,
+                CellKind::Xnor2,
+                CellKind::Mux2,
+                CellKind::Buf,
+            ];
+            let kind = kinds[(next() % kinds.len() as u64) as usize];
+            let pick = |n: &mut dyn FnMut() -> u64, pool: &[Signal]| {
+                pool[(n() % pool.len() as u64) as usize]
+            };
+            let ins: Vec<Signal> =
+                (0..kind.input_count()).map(|_| pick(&mut next, &pool)).collect();
+            let out = b.gate(kind, &ins);
+            pool.push(out);
+        }
+        // Observe the last few signals.
+        let outs: Vec<Signal> = pool.iter().rev().take(4).copied().collect();
+        b.output("o", &outs);
+        let original = b.finish();
+        let optimized = optimize(&original);
+        prop_assert!(optimized.gate_count() <= original.gate_count());
+        let mut s0 = Simulator::new(&original);
+        let mut s1 = Simulator::new(&optimized);
+        for v in 0..(1u64 << n_inputs) {
+            s0.set("x", v);
+            s1.set("x", v);
+            s0.settle();
+            s1.settle();
+            prop_assert_eq!(s0.get("o"), s1.get("o"), "input {}", v);
+        }
+    }
+
+    #[test]
+    fn quantizer_is_monotone_and_bounded(
+        values in proptest::collection::vec(-1e3f64..1e3, 10..40),
+        bits in 2usize..=12,
+    ) {
+        let rows: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+        let labels = vec![0usize; rows.len()];
+        let data = Dataset::new("q", rows, labels, 1);
+        let fq = FeatureQuantizer::fit(&data, bits);
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let codes: Vec<u64> = sorted.iter().map(|&v| fq.code(0, v)).collect();
+        for pair in codes.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantizer must be monotone");
+        }
+        prop_assert!(codes.iter().all(|&c| c <= fq.max_code()));
+        // Extremes hit the rails.
+        prop_assert_eq!(codes[0], 0);
+        prop_assert_eq!(*codes.last().unwrap(), fq.max_code());
+    }
+
+    #[test]
+    fn const_multiplier_is_exact_for_any_coefficient(
+        k in 0u64..1000,
+        x in 0u64..256,
+    ) {
+        let mut b = NetlistBuilder::new("cm");
+        let xin = b.input("x", 8);
+        let p = const_multiply(&mut b, &xin, k);
+        b.output("p", &p);
+        let m = b.finish();
+        let mut sim = Simulator::new(&m);
+        sim.set("x", x);
+        sim.settle();
+        let width = m.output("p").unwrap().width().min(63);
+        let mask = (1u64 << width) - 1;
+        prop_assert_eq!(sim.get("p"), (x * k) & mask);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn batch_simulator_matches_scalar_on_random_circuits(
+        seed in any::<u64>(),
+        n_gates in 4usize..30,
+        n_inputs in 2usize..6,
+    ) {
+        use printed_ml::netlist::BatchSimulator;
+        let mut b = NetlistBuilder::new("random");
+        let inputs = b.input("x", n_inputs);
+        let mut pool: Vec<Signal> = inputs.clone();
+        pool.push(Signal::ZERO);
+        pool.push(Signal::ONE);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..n_gates {
+            let kinds = [
+                CellKind::Inv,
+                CellKind::And2,
+                CellKind::Or2,
+                CellKind::Nand2,
+                CellKind::Nor2,
+                CellKind::Xor2,
+                CellKind::Xnor2,
+                CellKind::Mux2,
+                CellKind::Buf,
+            ];
+            let kind = kinds[(next() % kinds.len() as u64) as usize];
+            let ins: Vec<Signal> = (0..kind.input_count())
+                .map(|_| pool[(next() % pool.len() as u64) as usize])
+                .collect();
+            let out = b.gate(kind, &ins);
+            pool.push(out);
+        }
+        let outs: Vec<Signal> = pool.iter().rev().take(3).copied().collect();
+        b.output("o", &outs);
+        let m = b.finish();
+        let vectors: Vec<u64> = (0..(1u64 << n_inputs)).collect();
+        let mut batch = BatchSimulator::new(&m);
+        batch.set_lanes("x", &vectors);
+        batch.settle();
+        let got = batch.lanes("o", vectors.len());
+        let mut scalar = Simulator::new(&m);
+        for (lane, &v) in vectors.iter().enumerate() {
+            scalar.set("x", v);
+            scalar.settle();
+            prop_assert_eq!(got[lane], scalar.get("o"), "v={}", v);
+        }
+    }
+
+    #[test]
+    fn forest_hardware_matches_model_on_random_datasets(data in dataset_strategy()) {
+        use printed_ml::core::bespoke_forest;
+        use printed_ml::ml::forest::{ForestParams, RandomForest};
+        use printed_ml::ml::quant::QuantizedForest;
+        let forest = RandomForest::fit(
+            &data,
+            ForestParams { n_trees: 3, tree: TreeParams::with_depth(3), seed: 5 },
+        );
+        let fq = FeatureQuantizer::fit(&data, 5);
+        let qf = QuantizedForest::from_forest(&forest, &fq);
+        let module = bespoke_forest(&qf);
+        let mut sim = Simulator::new(&module);
+        for row in data.x.iter().take(20) {
+            let codes = fq.code_row(row);
+            for &f in &qf.used_features() {
+                sim.set(&format!("f{f}"), codes[f]);
+            }
+            sim.settle();
+            prop_assert_eq!(sim.get("class") as usize, qf.predict(&codes));
+        }
+    }
+
+    #[test]
+    fn serial_tree_matches_parallel_tree_on_random_datasets(
+        data in dataset_strategy(),
+        depth in 1usize..=3,
+    ) {
+        use printed_ml::core::bespoke::bespoke_serial;
+        let tree = DecisionTree::fit(&data, TreeParams::with_depth(depth));
+        let fq = FeatureQuantizer::fit(&data, 4);
+        let qt = QuantizedTree::from_tree(&tree, &fq);
+        let parallel = bespoke_parallel(&qt);
+        let (spec, serial) = bespoke_serial(&qt);
+        let mut psim = Simulator::new(&parallel);
+        let mut ssim = Simulator::new(&serial);
+        let used = qt.used_features();
+        for row in data.x.iter().take(20) {
+            let codes = fq.code_row(row);
+            for (slot, &f) in used.iter().enumerate() {
+                psim.set(&format!("f{slot}"), codes[f]);
+            }
+            psim.settle();
+            ssim.reset();
+            for (slot, &f) in used.iter().enumerate() {
+                ssim.set(&format!("f{slot}"), codes[f]);
+            }
+            for _ in 0..spec.depth {
+                ssim.step();
+            }
+            ssim.settle();
+            prop_assert_eq!(psim.get("class"), ssim.get("class"));
+        }
+    }
+}
