@@ -49,13 +49,14 @@ impl AnalogComparator {
     /// # Panics
     /// Panics if `threshold` is outside `[0, 1]`.
     pub fn new(threshold: f64, encoding: ThresholdEncoding) -> Self {
-        assert!((0.0..=1.0).contains(&threshold), "threshold {threshold} outside [0,1] V");
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold {threshold} outside [0,1] V"
+        );
         let transistor = Egt::default();
         let target = match encoding {
             ThresholdEncoding::PaperLinear => threshold * (R_MAX - R_MIN) + R_MIN,
-            ThresholdEncoding::Calibrated => {
-                transistor.resistance(threshold).clamp(R_MIN, R_MAX)
-            }
+            ThresholdEncoding::Calibrated => transistor.resistance(threshold).clamp(R_MIN, R_MAX),
         };
         AnalogComparator {
             threshold,
@@ -78,7 +79,10 @@ impl AnalogComparator {
     /// The input voltage at which the cell actually flips.
     pub fn effective_threshold(&self) -> f64 {
         // R_T is monotone decreasing: flip point where R_T(x) = R_j.
-        let r = self.resistor.resistance.clamp(self.transistor.r_on, self.transistor.r_off);
+        let r = self
+            .resistor
+            .resistance
+            .clamp(self.transistor.r_on, self.transistor.r_off);
         self.transistor.voltage_for_resistance(r)
     }
 

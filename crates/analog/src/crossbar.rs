@@ -55,7 +55,10 @@ impl CrossbarColumn {
             })
             .collect();
         let total_conductance = resistors.iter().map(|(_, r)| 1.0 / r.resistance).sum();
-        CrossbarColumn { resistors, total_conductance }
+        CrossbarColumn {
+            resistors,
+            total_conductance,
+        }
     }
 
     /// Evaluates eq. (1) for input voltages `v` (indexed by row).

@@ -36,7 +36,10 @@ impl Default for Egt {
         // deliberately coincides with the printable resistor range
         // [`R_MIN`, `R_MAX`] so every threshold in [0, VDD] has a matching
         // printable resistance.
-        Egt { r_on: R_MIN, r_off: R_MAX }
+        Egt {
+            r_on: R_MIN,
+            r_off: R_MAX,
+        }
     }
 }
 
@@ -96,13 +99,18 @@ impl PrintedResistor {
     /// # Panics
     /// Panics if `r` is not positive or not finite.
     pub fn printable(r: f64) -> Self {
-        assert!(r.is_finite() && r > 0.0, "resistance must be positive, got {r}");
+        assert!(
+            r.is_finite() && r > 0.0,
+            "resistance must be positive, got {r}"
+        );
         let clamped = r.clamp(R_MIN, R_MAX);
         // Geometric grid: VALUES_PER_DECADE points per decade.
         let steps_per_decade = Self::VALUES_PER_DECADE as f64;
         let exponent = (clamped / R_MIN).log10();
         let snapped = (exponent * steps_per_decade).round() / steps_per_decade;
-        PrintedResistor { resistance: R_MIN * 10f64.powf(snapped) }
+        PrintedResistor {
+            resistance: R_MIN * 10f64.powf(snapped),
+        }
     }
 
     /// Relative quantization error committed by [`PrintedResistor::printable`]

@@ -34,8 +34,8 @@ pub mod device;
 pub mod proto;
 pub mod svm;
 pub mod transient;
-pub mod variation;
 pub mod tree;
+pub mod variation;
 
 pub use comparator::{AnalogComparator, ThresholdEncoding};
 pub use crossbar::CrossbarColumn;
@@ -43,5 +43,7 @@ pub use device::{Egt, PrintedResistor, VDD};
 pub use proto::{digital_tree_transients, two_level_tree_transients, MultiLevelRom, RomLevel};
 pub use svm::AnalogSvm;
 pub use transient::{simulate_node, Stimulus, Waveform};
-pub use variation::{analyze_svm_variation, analyze_tree_variation, variation_sweep, VariationReport};
 pub use tree::{AnalogTree, AnalogTreeConfig};
+pub use variation::{
+    analyze_svm_variation, analyze_tree_variation, variation_sweep, VariationReport,
+};

@@ -64,7 +64,12 @@ impl MultiLevelRom {
     /// `R1 = 2·Rs, R2 = ∞, R3 = Rs/2, R4 ≈ 0`.
     pub fn paper_prototype() -> Self {
         MultiLevelRom {
-            levels: [RomLevel::Double, RomLevel::Open, RomLevel::Half, RomLevel::Short],
+            levels: [
+                RomLevel::Double,
+                RomLevel::Open,
+                RomLevel::Half,
+                RomLevel::Short,
+            ],
             r_sense: 1.0e6,
         }
     }
@@ -100,7 +105,10 @@ impl MultiLevelRom {
         nominal
             .iter()
             .min_by(|a, b| {
-                (a.0 - voltage).abs().partial_cmp(&(b.0 - voltage).abs()).unwrap()
+                (a.0 - voltage)
+                    .abs()
+                    .partial_cmp(&(b.0 - voltage).abs())
+                    .unwrap()
             })
             .unwrap()
             .1
@@ -113,14 +121,17 @@ impl MultiLevelRom {
 
     /// All 8 bits of the array, row 0 in the least-significant position.
     pub fn read_all(&self) -> u8 {
-        (0..4).map(|r| self.read(r) << (2 * r)).fold(0, |a, b| a | b)
+        (0..4)
+            .map(|r| self.read(r) << (2 * r))
+            .fold(0, |a, b| a | b)
     }
 
     /// Transient read-out: select each row for `dwell` seconds in turn,
     /// reproducing Fig. 14c's scope trace.
     pub fn read_transient(&self, dwell: f64, samples: usize) -> Waveform {
-        let switches: Vec<(f64, f64)> =
-            (0..4).map(|r| (r as f64 * dwell, self.read_voltage(r))).collect();
+        let switches: Vec<(f64, f64)> = (0..4)
+            .map(|r| (r as f64 * dwell, self.read_voltage(r)))
+            .collect();
         let stim = Stimulus::steps(switches);
         // Measured element delay was ~10 ms → tau ≈ 2 ms for 5τ settling.
         simulate_node(&[stim], |l| l[0], 2.0e-3, 0.0, 4.0 * dwell, samples)
@@ -188,8 +199,22 @@ pub fn two_level_tree_transients(
         (VDD, 0.0)
     };
     // Class lines settle one level later (selector cascade).
-    let c3 = simulate_node(&[Stimulus::constant(c3_t)], |l| l[0], tau * 1.4, 0.0, t_end, samples);
-    let c4 = simulate_node(&[Stimulus::constant(c4_t)], |l| l[0], tau * 1.4, 0.0, t_end, samples);
+    let c3 = simulate_node(
+        &[Stimulus::constant(c3_t)],
+        |l| l[0],
+        tau * 1.4,
+        0.0,
+        t_end,
+        samples,
+    );
+    let c4 = simulate_node(
+        &[Stimulus::constant(c4_t)],
+        |l| l[0],
+        tau * 1.4,
+        0.0,
+        t_end,
+        samples,
+    );
     (s1, s2, c3, c4)
 }
 
@@ -234,7 +259,11 @@ mod tests {
         // Sample late in each dwell window: must be near the DC level.
         for row in 0..4 {
             let t_probe = (row as f64 + 0.95) * 20e-3;
-            let idx = w.times.iter().position(|&t| t >= t_probe).unwrap_or(w.times.len() - 1);
+            let idx = w
+                .times
+                .iter()
+                .position(|&t| t >= t_probe)
+                .unwrap_or(w.times.len() - 1);
             let expect = rom.read_voltage(row);
             assert!(
                 (w.values[idx] - expect).abs() < 0.06,
@@ -319,6 +348,9 @@ mod digital_proto_tests {
     fn traces_start_at_midrail_and_slew() {
         let traces = digital_tree_transients([true, false, false, false], 15e-3, 150);
         assert!((traces[0].values[0] - VDD / 2.0).abs() < 0.05);
-        assert!(traces[0].settling_time(0.05) > 1e-3, "EGT gates slew slowly");
+        assert!(
+            traces[0].settling_time(0.05) > 1e-3,
+            "EGT gates slew slowly"
+        );
     }
 }

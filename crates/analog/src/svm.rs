@@ -57,8 +57,11 @@ impl AnalogSvm {
         };
         let (positive, pos_scale) = column(svm.pos_terms());
         let (negative, neg_scale) = column(svm.neg_terms());
-        let boundaries_v =
-            svm.boundaries().iter().map(|&b| b as f64 / max_code as f64).collect();
+        let boundaries_v = svm
+            .boundaries()
+            .iter()
+            .map(|&b| b as f64 / max_code as f64)
+            .collect();
         AnalogSvm {
             positive,
             negative,
@@ -73,8 +76,10 @@ impl AnalogSvm {
 
     /// The scaled analog decision value `Vp·Sp − Vn·Sn` for feature codes.
     pub fn decision(&self, codes: &[u64]) -> f64 {
-        let volts: Vec<f64> =
-            codes.iter().map(|&c| c.min(self.max_code) as f64 / self.max_code as f64).collect();
+        let volts: Vec<f64> = codes
+            .iter()
+            .map(|&c| c.min(self.max_code) as f64 / self.max_code as f64)
+            .collect();
         let vp = self.positive.as_ref().map_or(0.0, |c| c.output(&volts));
         let vn = self.negative.as_ref().map_or(0.0, |c| c.output(&volts));
         vp * self.pos_scale - vn * self.neg_scale
@@ -106,8 +111,8 @@ impl AnalogSvm {
     pub fn area(&self) -> Area {
         let dots = PrintedResistor::area() * self.resistor_count() as f64;
         let drivers = Area::from_mm2(0.04) * self.resistor_count() as f64;
-        let comparators = (Egt::area() * 3.0 + PrintedResistor::area())
-            * self.boundaries_v.len() as f64;
+        let comparators =
+            (Egt::area() * 3.0 + PrintedResistor::area()) * self.boundaries_v.len() as f64;
         let sense = Egt::area() * 2.0 + PrintedResistor::area() * 2.0;
         dots + drivers + comparators + sense
     }
@@ -129,8 +134,9 @@ impl AnalogSvm {
         let col = |c: &Option<CrossbarColumn>| c.as_ref().map_or(Delay::ZERO, |c| c.settle_time());
         let settle = col(&self.positive).max(col(&self.negative));
         let bits = (64 - self.max_code.leading_zeros() as usize).max(1);
-        let comparator = AnalogComparator::new(0.5, crate::comparator::ThresholdEncoding::Calibrated)
-            .settle_time();
+        let comparator =
+            AnalogComparator::new(0.5, crate::comparator::ThresholdEncoding::Calibrated)
+                .settle_time();
         // ~2.5 regeneration windows per resolved bit.
         settle + comparator * (2.5 * bits as f64)
     }
@@ -179,17 +185,23 @@ mod tests {
 
     #[test]
     fn decision_value_approximates_integer_dot_product() {
+        // The decision is the difference of two large column sums, so the
+        // right error bound is against the column magnitude P + N (per-
+        // resistor snap error ≤ one half grid step, ~2.4%), not against
+        // the (cancellation-prone) decision value itself.
         let (qs, fq, test) = setup(Application::RedWine, 8);
         let asvm = AnalogSvm::from_svm(&qs, 11);
         let max_code = (1u64 << 8) - 1;
         for row in test.x.iter().take(40) {
             let codes = fq.code_row(row);
-            let d_int = qs.positive_sum(&codes) as f64 - qs.negative_sum(&codes) as f64;
+            let p = qs.positive_sum(&codes) as f64;
+            let n = qs.negative_sum(&codes) as f64;
             let d_analog = asvm.decision(&codes) * max_code as f64;
-            let denom = d_int.abs().max(max_code as f64);
+            let err = (d_analog - (p - n)).abs() / (p + n).max(max_code as f64);
             assert!(
-                (d_analog - d_int).abs() / denom < 0.12,
-                "analog {d_analog} vs integer {d_int}"
+                err < 0.024,
+                "analog {d_analog} vs integer {} ({err})",
+                p - n
             );
         }
     }

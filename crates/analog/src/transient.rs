@@ -60,7 +60,9 @@ pub struct Stimulus {
 impl Stimulus {
     /// A stimulus holding `level` forever.
     pub fn constant(level: f64) -> Self {
-        Stimulus { segments: vec![(0.0, level)] }
+        Stimulus {
+            segments: vec![(0.0, level)],
+        }
     }
 
     /// A stimulus from `(time, level)` steps; times must be ascending and
@@ -136,18 +138,15 @@ mod tests {
 
     #[test]
     fn constant_target_settles_exponentially() {
-        let w = simulate_node(
-            &[Stimulus::constant(1.0)],
-            |l| l[0],
-            1e-3,
-            0.0,
-            10e-3,
-            200,
-        );
+        let w = simulate_node(&[Stimulus::constant(1.0)], |l| l[0], 1e-3, 0.0, 10e-3, 200);
         assert!((w.settled() - 1.0).abs() < 1e-3);
         // After one tau the node sits near 63%.
         let idx = w.times.iter().position(|&t| t >= 1e-3).unwrap();
-        assert!((w.values[idx] - 0.632).abs() < 0.05, "got {}", w.values[idx]);
+        assert!(
+            (w.values[idx] - 0.632).abs() < 0.05,
+            "got {}",
+            w.values[idx]
+        );
     }
 
     #[test]
@@ -161,7 +160,14 @@ mod tests {
 
     #[test]
     fn settling_time_tracks_tau() {
-        let fast = simulate_node(&[Stimulus::constant(1.0)], |l| l[0], 0.2e-3, 0.0, 10e-3, 500);
+        let fast = simulate_node(
+            &[Stimulus::constant(1.0)],
+            |l| l[0],
+            0.2e-3,
+            0.0,
+            10e-3,
+            500,
+        );
         let slow = simulate_node(&[Stimulus::constant(1.0)], |l| l[0], 2e-3, 0.0, 20e-3, 500);
         assert!(fast.settling_time(0.01) < slow.settling_time(0.01));
     }

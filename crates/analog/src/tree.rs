@@ -44,7 +44,10 @@ pub struct AnalogTreeConfig {
 
 impl Default for AnalogTreeConfig {
     fn default() -> Self {
-        AnalogTreeConfig { encoding: ThresholdEncoding::Calibrated, buffers: true }
+        AnalogTreeConfig {
+            encoding: ThresholdEncoding::Calibrated,
+            buffers: true,
+        }
     }
 }
 
@@ -91,14 +94,18 @@ impl AnalogTree {
     /// Classifies from quantized feature codes (converted to node voltages
     /// internally, exactly as a sensor front-end would drive the circuit).
     pub fn predict(&self, codes: &[u64]) -> usize {
-        let volts: Vec<f64> =
-            codes.iter().map(|&c| c.min(self.max_code) as f64 / self.max_code as f64).collect();
+        let volts: Vec<f64> = codes
+            .iter()
+            .map(|&c| c.min(self.max_code) as f64 / self.max_code as f64)
+            .collect();
         self.predict_volts(&volts)
     }
 
     /// Classifies from raw node voltages in `[0, 1]`.
     pub fn predict_volts(&self, volts: &[f64]) -> usize {
-        let Some(mut i) = self.root else { return self.constant_class };
+        let Some(mut i) = self.root else {
+            return self.constant_class;
+        };
         loop {
             let node = &self.nodes[i];
             let above = node.comparator.decide(volts[node.feature]);
@@ -188,8 +195,10 @@ impl AnalogTree {
     /// The §VI-B prototype measured 405 mV worst case *with* clean levels;
     /// without buffers each level of selector drop costs ~15% of swing.
     pub fn worst_margin(&self, codes: &[u64]) -> f64 {
-        let volts: Vec<f64> =
-            codes.iter().map(|&c| c.min(self.max_code) as f64 / self.max_code as f64).collect();
+        let volts: Vec<f64> = codes
+            .iter()
+            .map(|&c| c.min(self.max_code) as f64 / self.max_code as f64)
+            .collect();
         let Some(mut i) = self.root else { return 1.0 };
         let mut worst: f64 = 1.0;
         loop {
@@ -218,14 +227,25 @@ fn build(
 ) -> Child {
     match &tree.nodes()[node] {
         QNode::Leaf { class } => Child::Leaf(*class),
-        QNode::Split { feature, threshold, left, right } => {
+        QNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
             // Trip midway between the threshold code and the next code so
             // quantized inputs sit squarely on either side.
             let v = ((*threshold as f64) + 0.5) / max_code as f64;
             let comparator = AnalogComparator::new(v.clamp(0.0, 1.0), config.encoding);
             let l = build(tree, *left, depth + 1, max_code, config, out);
             let r = build(tree, *right, depth + 1, max_code, config, out);
-            out.push(Node { feature: *feature, comparator, depth, left: l, right: r });
+            out.push(Node {
+                feature: *feature,
+                comparator,
+                depth,
+                left: l,
+                right: r,
+            });
             Child::Node(out.len() - 1)
         }
     }
@@ -238,7 +258,11 @@ mod tests {
     use ml::synth::Application;
     use ml::tree::{DecisionTree, TreeParams};
 
-    fn quantized(app: Application, depth: usize, bits: usize) -> (QuantizedTree, FeatureQuantizer, ml::Dataset) {
+    fn quantized(
+        app: Application,
+        depth: usize,
+        bits: usize,
+    ) -> (QuantizedTree, FeatureQuantizer, ml::Dataset) {
         let data = app.generate(7);
         let (train, test) = data.split(0.7, 42);
         let tree = DecisionTree::fit(&train, TreeParams::with_depth(depth));
@@ -265,7 +289,10 @@ mod tests {
         let cal = AnalogTree::from_tree(&qt, AnalogTreeConfig::default());
         let lin = AnalogTree::from_tree(
             &qt,
-            AnalogTreeConfig { encoding: ThresholdEncoding::PaperLinear, buffers: true },
+            AnalogTreeConfig {
+                encoding: ThresholdEncoding::PaperLinear,
+                buffers: true,
+            },
         );
         let agreement = |t: &AnalogTree| {
             let mut agree = 0usize;
@@ -275,7 +302,10 @@ mod tests {
             }
             agree as f64 / test.x.len() as f64
         };
-        assert!(agreement(&cal) >= agreement(&lin), "calibration should not hurt");
+        assert!(
+            agreement(&cal) >= agreement(&lin),
+            "calibration should not hurt"
+        );
     }
 
     #[test]
@@ -294,12 +324,19 @@ mod tests {
             }
             depth_try += 1;
         }
-        assert_eq!(tree.comparison_count(), 3, "need a full depth-2 tree for this test");
+        assert_eq!(
+            tree.comparison_count(),
+            3,
+            "need a full depth-2 tree for this test"
+        );
         let fq = FeatureQuantizer::fit(&train, 2);
         let qt = QuantizedTree::from_tree(&tree, &fq);
         let at = AnalogTree::from_tree(
             &qt,
-            AnalogTreeConfig { encoding: ThresholdEncoding::Calibrated, buffers: false },
+            AnalogTreeConfig {
+                encoding: ThresholdEncoding::Calibrated,
+                buffers: false,
+            },
         );
         assert_eq!(at.node_count(), 3);
         assert_eq!(at.transistor_count(), 11, "3 + 4 + 4 EGTs");
@@ -316,7 +353,10 @@ mod tests {
         // Power grows at most ~linearly with depth, far slower than nodes.
         let power_ratio = a8.static_power().ratio(a2.static_power());
         let node_ratio = a8.node_count() as f64 / a2.node_count() as f64;
-        assert!(power_ratio < node_ratio / 1.5, "power {power_ratio} nodes {node_ratio}");
+        assert!(
+            power_ratio < node_ratio / 1.5,
+            "power {power_ratio} nodes {node_ratio}"
+        );
     }
 
     #[test]
@@ -325,7 +365,10 @@ mod tests {
         let with = AnalogTree::from_tree(&qt, AnalogTreeConfig::default());
         let without = AnalogTree::from_tree(
             &qt,
-            AnalogTreeConfig { encoding: ThresholdEncoding::Calibrated, buffers: false },
+            AnalogTreeConfig {
+                encoding: ThresholdEncoding::Calibrated,
+                buffers: false,
+            },
         );
         assert!(with.area() > without.area());
         let codes = fq.code_row(&test.x[0]);
@@ -341,7 +384,10 @@ mod tests {
         let qt = QuantizedTree::from_tree(&tree, &fq);
         let at = AnalogTree::from_tree(&qt, AnalogTreeConfig::default());
         assert_eq!(at.node_count(), 0);
-        assert_eq!(at.predict(&fq.code_row(&data.x[0])), qt.predict(&fq.code_row(&data.x[0])));
+        assert_eq!(
+            at.predict(&fq.code_row(&data.x[0])),
+            qt.predict(&fq.code_row(&data.x[0]))
+        );
         assert!(at.area().is_zero());
     }
 }
@@ -354,8 +400,10 @@ impl AnalogTree {
     /// Returns one voltage per leaf in depth-first (left-first) order;
     /// exactly one line sits near VDD, the rest near 0 V.
     pub fn leaf_lines(&self, codes: &[u64]) -> Vec<f64> {
-        let volts: Vec<f64> =
-            codes.iter().map(|&c| c.min(self.max_code) as f64 / self.max_code as f64).collect();
+        let volts: Vec<f64> = codes
+            .iter()
+            .map(|&c| c.min(self.max_code) as f64 / self.max_code as f64)
+            .collect();
         let mut lines = Vec::new();
         match self.root {
             None => lines.push(crate::device::VDD),
@@ -374,7 +422,11 @@ impl AnalogTree {
     ) {
         let n = &self.nodes[node];
         let above = n.comparator.decide(volts[n.feature]);
-        let attenuation = if self.config.buffers { 1.0 } else { 0.85f64.powi(depth as i32 + 1) };
+        let attenuation = if self.config.buffers {
+            1.0
+        } else {
+            0.85f64.powi(depth as i32 + 1)
+        };
         let child = |c: Child, selected: bool, lines: &mut Vec<f64>| match c {
             Child::Leaf(_) => {
                 lines.push(if enabled && selected {
@@ -383,9 +435,7 @@ impl AnalogTree {
                     0.0
                 });
             }
-            Child::Node(i) => {
-                self.walk_lines(i, volts, enabled && selected, depth + 1, lines)
-            }
+            Child::Node(i) => self.walk_lines(i, volts, enabled && selected, depth + 1, lines),
         };
         child(n.left, !above, lines);
         child(n.right, above, lines);
@@ -430,7 +480,10 @@ mod leaf_line_tests {
             },
         );
         let codes = fq.code_row(&test.x[0]);
-        let hb = buffered.leaf_lines(&codes).into_iter().fold(0.0f64, f64::max);
+        let hb = buffered
+            .leaf_lines(&codes)
+            .into_iter()
+            .fold(0.0f64, f64::max);
         let hn = bare.leaf_lines(&codes).into_iter().fold(0.0f64, f64::max);
         assert!(hb >= hn, "buffers must restore swing: {hb} vs {hn}");
         assert!(hn < 1.0, "unbuffered deep trees attenuate");

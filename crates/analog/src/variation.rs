@@ -7,9 +7,14 @@
 //! Monte-Carlo perturbation of every printed resistance and transistor
 //! law, measuring how classification agreement with the nominal design
 //! degrades as print variation grows.
+//!
+//! Trials are embarrassingly parallel. Each trial draws from its own
+//! deterministic seed stream (`exec::task_seed(seed, trial)`), so a sweep
+//! produces **bit-identical** reports at any thread count — the thread
+//! pool only changes wall-clock time, never results.
 
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use exec::rng::StdRng;
+use exec::{parallel_map, task_seed};
 
 use ml::quant::{QNode, QuantizedTree};
 
@@ -44,6 +49,10 @@ pub struct VariationReport {
 /// evaluated on `rows` (quantized feature codes) against the nominal
 /// circuit.
 ///
+/// Trials shard across the [`exec`] thread pool; trial `t` draws from the
+/// stream seeded `task_seed(seed, t)`, so the report is bit-identical at
+/// any thread count.
+///
 /// # Panics
 /// Panics if `trials` is zero or `rows` is empty.
 pub fn analyze_tree_variation(
@@ -65,7 +74,9 @@ pub fn analyze_tree_variation(
         .nodes()
         .iter()
         .filter_map(|n| match n {
-            QNode::Split { feature, threshold, .. } => {
+            QNode::Split {
+                feature, threshold, ..
+            } => {
                 let v = ((*threshold as f64) + 0.5) / max_code as f64;
                 Some((*feature, v.clamp(0.0, 1.0)))
             }
@@ -73,9 +84,11 @@ pub fn analyze_tree_variation(
         })
         .collect();
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut agreements = Vec::with_capacity(trials);
-    for _ in 0..trials {
+    // One deterministic seed stream per trial: results are identical
+    // whether trials run sequentially or sharded across threads.
+    let trial_ids: Vec<u64> = (0..trials as u64).collect();
+    let agreements: Vec<f64> = parallel_map(&trial_ids, |_, &trial| {
+        let mut rng = StdRng::seed_from_u64(task_seed(seed, trial));
         // Perturb each node's resistance; map back to an effective
         // threshold voltage through the transistor law.
         let varied = VariedTree {
@@ -95,11 +108,16 @@ pub fn analyze_tree_variation(
             let varied_class = predict_varied(tree, &varied, codes, max_code);
             agree += (nominal_class == varied_class) as usize;
         }
-        agreements.push(agree as f64 / rows.len() as f64);
-    }
+        agree as f64 / rows.len() as f64
+    });
     let mean = agreements.iter().sum::<f64>() / trials as f64;
     let worst = agreements.iter().cloned().fold(f64::INFINITY, f64::min);
-    VariationReport { sigma, trials, mean_agreement: mean, worst_agreement: worst }
+    VariationReport {
+        sigma,
+        trials,
+        mean_agreement: mean,
+        worst_agreement: worst,
+    }
 }
 
 /// Walks the tree using the perturbed effective thresholds.
@@ -122,7 +140,12 @@ fn predict_varied(
     loop {
         match &tree.nodes()[i] {
             QNode::Leaf { class } => return *class,
-            QNode::Split { feature, left, right, .. } => {
+            QNode::Split {
+                feature,
+                left,
+                right,
+                ..
+            } => {
                 let v = codes[*feature].min(max_code) as f64 / max_code as f64;
                 let thr = varied.thresholds[split_ordinals[i]];
                 i = if v > thr { *right } else { *left };
@@ -211,6 +234,9 @@ mod tests {
 /// perturbed engine's predictions are compared with the nominal analog
 /// engine on `rows`.
 ///
+/// Trials shard across the [`exec`] thread pool with per-trial seed
+/// streams; results are bit-identical at any thread count.
+///
 /// # Panics
 /// Panics if `trials` is zero or `rows` is empty.
 pub fn analyze_svm_variation(
@@ -226,14 +252,17 @@ pub fn analyze_svm_variation(
     assert!(!rows.is_empty(), "need evaluation rows");
     let nominal = crate::svm::AnalogSvm::from_svm(svm, n_features);
     let max_code = (1u64 << svm.bits()) - 1;
-    let boundaries_v: Vec<f64> =
-        svm.boundaries().iter().map(|&b| b as f64 / max_code as f64).collect();
+    let boundaries_v: Vec<f64> = svm
+        .boundaries()
+        .iter()
+        .map(|&b| b as f64 / max_code as f64)
+        .collect();
     let pos_scale: f64 = svm.pos_terms().iter().map(|&(_, m)| m as f64).sum();
     let neg_scale: f64 = svm.neg_terms().iter().map(|&(_, m)| m as f64).sum();
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut agreements = Vec::with_capacity(trials);
-    for _ in 0..trials {
+    let trial_ids: Vec<u64> = (0..trials as u64).collect();
+    let agreements: Vec<f64> = parallel_map(&trial_ids, |_, &trial| {
+        let mut rng = StdRng::seed_from_u64(task_seed(seed, trial));
         let mut perturbed_column = |terms: &[(usize, u64)]| -> Option<CrossbarColumn> {
             if terms.is_empty() {
                 return None;
@@ -263,11 +292,16 @@ pub fn analyze_svm_variation(
                 .min(svm.n_classes() - 1);
             agree += (varied_class == nominal.predict(codes)) as usize;
         }
-        agreements.push(agree as f64 / rows.len() as f64);
-    }
+        agree as f64 / rows.len() as f64
+    });
     let mean = agreements.iter().sum::<f64>() / trials as f64;
     let worst = agreements.iter().cloned().fold(f64::INFINITY, f64::min);
-    VariationReport { sigma, trials, mean_agreement: mean, worst_agreement: worst }
+    VariationReport {
+        sigma,
+        trials,
+        mean_agreement: mean,
+        worst_agreement: worst,
+    }
 }
 
 #[cfg(test)]
@@ -302,8 +336,12 @@ mod svm_variation_tests {
         let (qs, rows) = workload();
         let small = analyze_svm_variation(&qs, 11, &rows, 0.02, 10, 3);
         let large = analyze_svm_variation(&qs, 11, &rows, 0.5, 10, 3);
-        assert!(large.mean_agreement < small.mean_agreement + 1e-9,
-            "small {} large {}", small.mean_agreement, large.mean_agreement);
+        assert!(
+            large.mean_agreement < small.mean_agreement + 1e-9,
+            "small {} large {}",
+            small.mean_agreement,
+            large.mean_agreement
+        );
     }
 
     #[test]

@@ -1,13 +1,19 @@
-//! Criterion benchmarks: one per table/figure kernel plus the core
-//! generator-pipeline stages.
+//! Micro-benchmarks: one per table/figure kernel plus the core
+//! generator-pipeline stages, on a std-only harness (`harness = false`;
+//! the previous Criterion harness lived on an unreachable registry).
 //!
 //! These measure the *reproduction machinery* (training, netlist
 //! generation, logic optimization, PPA analysis, simulation) on reduced
 //! workloads; the full-fidelity table/figure outputs come from the
 //! `bench` binaries (`cargo run --release -p bench --bin repro_all`).
+//!
+//! Each kernel is warmed up once, then run for a fixed minimum wall
+//! time; the reported figure is the mean wall-clock time per iteration.
+//! Pass a substring argument to run matching kernels only, e.g.
+//! `cargo bench -p bench -- lookup`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use analog::tree::{AnalogTree, AnalogTreeConfig};
 use bench::workloads::quick_apps;
@@ -25,6 +31,31 @@ use printed_core::conventional::svm::{generate as gen_svm, SvmSpec};
 use printed_core::flow::{SvmArch, SvmFlow, TreeArch, TreeFlow};
 use printed_core::lookup::{lookup_parallel, LookupConfig};
 
+/// Runs `f` repeatedly for at least `MIN_RUN` after one warmup call and
+/// prints mean time per iteration.
+fn bench(filter: &str, name: &str, mut f: impl FnMut()) {
+    const MIN_RUN: Duration = Duration::from_millis(300);
+    if !name.contains(filter) {
+        return;
+    }
+    f(); // warmup
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < MIN_RUN {
+        f();
+        iters += 1;
+    }
+    let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+    let formatted = if per_iter >= 1.0 {
+        format!("{per_iter:.3} s")
+    } else if per_iter >= 1e-3 {
+        format!("{:.3} ms", per_iter * 1e3)
+    } else {
+        format!("{:.3} µs", per_iter * 1e6)
+    };
+    println!("{name:<40} {formatted:>12}/iter  ({iters} iters)");
+}
+
 fn fitted_tree(app: Application, depth: usize, bits: usize) -> (QuantizedTree, FeatureQuantizer) {
     let data = app.generate(7);
     let (train, _) = data.split(0.7, 42);
@@ -33,146 +64,124 @@ fn fitted_tree(app: Application, depth: usize, bits: usize) -> (QuantizedTree, F
     (QuantizedTree::from_tree(&tree, &fq), fq)
 }
 
-/// Table I kernel: price the three components in all technologies.
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_component_ppa", |b| {
-        b.iter(|| black_box(bench::experiments::table1()))
-    });
-}
-
-/// Table II kernel: train + evaluate one tree per quick dataset.
-fn bench_table2(c: &mut Criterion) {
-    c.bench_function("table2_training_kernel", |b| {
-        b.iter(|| {
-            for app in quick_apps() {
-                let data = app.generate(7);
-                let (train, _) = data.split(0.7, 42);
-                let t = DecisionTree::fit(&train, TreeParams::with_depth(4));
-                black_box(t.comparison_count());
-            }
-        })
-    });
-}
-
-/// Table III kernel: conventional serial engine generation + analysis.
-fn bench_table3(c: &mut Criterion) {
+fn main() {
+    // Cargo invokes bench targets with `--bench`; anything else is a
+    // name filter.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_default();
     let lib = CellLibrary::for_technology(Technology::Egt);
-    c.bench_function("table3_serial_engine", |b| {
-        b.iter(|| {
-            let spec = SerialTreeSpec::conventional(4);
-            let prog = SerialTreeProgram {
-                threshold_rom: vec![0; 1 << 5],
-                class_rom: vec![0; 1 << 4],
-            };
-            black_box(analyze(&gen_serial(&spec, &prog), &lib))
-        })
-    });
-}
 
-/// Table IV kernel: conventional parallel engine generation + analysis.
-fn bench_table4(c: &mut Criterion) {
-    let lib = CellLibrary::for_technology(Technology::Egt);
-    c.bench_function("table4_parallel_engine", |b| {
-        b.iter(|| black_box(analyze(&gen_parallel(&ParallelTreeSpec::conventional(4)), &lib)))
+    bench(&filter, "table1_component_ppa", || {
+        black_box(bench::experiments::table1());
     });
-}
 
-/// Table V kernel: conventional SVM engine (reduced feature count).
-fn bench_table5(c: &mut Criterion) {
-    let lib = CellLibrary::for_technology(Technology::Egt);
-    c.bench_function("table5_svm_engine", |b| {
-        b.iter(|| {
-            let spec = SvmSpec { width: 8, n_features: 32, n_boundaries: 5 };
-            black_box(analyze(&gen_svm(&spec), &lib))
-        })
+    bench(&filter, "table2_training_kernel", || {
+        for app in quick_apps() {
+            let data = app.generate(7);
+            let (train, _) = data.split(0.7, 42);
+            let t = DecisionTree::fit(&train, TreeParams::with_depth(4));
+            black_box(t.comparison_count());
+        }
     });
-}
 
-/// Fig. 3 / Fig. 19 kernel: feasibility classification.
-fn bench_fig3_fig19(c: &mut Criterion) {
-    let flow = TreeFlow::new(Application::Har, 2, 7);
-    let report = flow.report(TreeArch::BespokeParallel, Technology::Egt);
-    c.bench_function("fig3_fig19_feasibility", |b| {
-        b.iter(|| black_box(report.feasibility()))
+    bench(&filter, "table3_serial_engine", || {
+        let spec = SerialTreeSpec::conventional(4);
+        let prog = SerialTreeProgram {
+            threshold_rom: vec![0; 1 << 5],
+            class_rom: vec![0; 1 << 4],
+        };
+        black_box(analyze(&gen_serial(&spec, &prog), &lib));
     });
-}
 
-/// Fig. 6 kernel: bespoke serial generation (includes optimization).
-fn bench_fig6(c: &mut Criterion) {
-    let (qt, _) = fitted_tree(Application::Cardio, 4, 8);
-    c.bench_function("fig6_bespoke_serial", |b| {
-        b.iter(|| black_box(printed_core::bespoke::bespoke_serial(&qt)))
+    bench(&filter, "table4_parallel_engine", || {
+        black_box(analyze(
+            &gen_parallel(&ParallelTreeSpec::conventional(4)),
+            &lib,
+        ));
     });
-}
 
-/// Fig. 7 kernel: bespoke parallel generation + optimization.
-fn bench_fig7(c: &mut Criterion) {
-    let (qt, _) = fitted_tree(Application::Cardio, 4, 8);
-    c.bench_function("fig7_bespoke_parallel", |b| {
-        b.iter(|| black_box(bespoke_parallel(&qt)))
+    bench(&filter, "table5_svm_engine", || {
+        let spec = SvmSpec {
+            width: 8,
+            n_features: 32,
+            n_boundaries: 5,
+        };
+        black_box(analyze(&gen_svm(&spec), &lib));
     });
-}
 
-/// Figs. 9/10 kernel: lookup tree generation at both optimization levels.
-fn bench_fig9_fig10(c: &mut Criterion) {
-    let (qt, _) = fitted_tree(Application::Pendigits, 6, 4);
-    c.bench_function("fig9_lookup_tree_baseline", |b| {
-        b.iter(|| black_box(lookup_parallel(&qt, LookupConfig::baseline())))
-    });
-    c.bench_function("fig10_lookup_tree_optimized", |b| {
-        b.iter(|| black_box(lookup_parallel(&qt, LookupConfig::optimized())))
-    });
-}
+    {
+        let flow = TreeFlow::new(Application::Har, 2, 7);
+        let report = flow.report(TreeArch::BespokeParallel, Technology::Egt);
+        bench(&filter, "fig3_fig19_feasibility", || {
+            black_box(report.feasibility());
+        });
+    }
 
-/// Figs. 11/12/13 kernel: bespoke + lookup SVM generation.
-fn bench_fig11_12_13(c: &mut Criterion) {
-    let flow = SvmFlow::new(Application::RedWine, 7);
-    c.bench_function("fig11_bespoke_svm", |b| {
-        b.iter(|| black_box(bespoke_svm(&flow.qs)))
-    });
-    c.bench_function("fig12_fig13_lookup_svm", |b| {
-        b.iter(|| {
-            black_box(flow.module(SvmArch::Lookup(LookupConfig::optimized())).unwrap())
-        })
-    });
-}
+    {
+        let (qt, _) = fitted_tree(Application::Cardio, 4, 8);
+        bench(&filter, "fig6_bespoke_serial", || {
+            black_box(printed_core::bespoke::bespoke_serial(&qt));
+        });
+        bench(&filter, "fig7_bespoke_parallel", || {
+            black_box(bespoke_parallel(&qt));
+        });
+    }
 
-/// Figs. 16/17 kernel: analog construction + functional evaluation.
-fn bench_fig16_fig17(c: &mut Criterion) {
-    let (qt, fq) = fitted_tree(Application::Har, 4, 6);
-    let data = Application::Har.generate(7);
-    let codes = fq.code_row(&data.x[0]);
-    c.bench_function("fig16_analog_tree", |b| {
-        b.iter(|| {
+    {
+        let (qt, _) = fitted_tree(Application::Pendigits, 6, 4);
+        bench(&filter, "fig9_lookup_tree_baseline", || {
+            black_box(lookup_parallel(&qt, LookupConfig::baseline()));
+        });
+        bench(&filter, "fig10_lookup_tree_optimized", || {
+            black_box(lookup_parallel(&qt, LookupConfig::optimized()));
+        });
+    }
+
+    {
+        let flow = SvmFlow::new(Application::RedWine, 7);
+        bench(&filter, "fig11_bespoke_svm", || {
+            black_box(bespoke_svm(&flow.qs));
+        });
+        bench(&filter, "fig12_fig13_lookup_svm", || {
+            black_box(
+                flow.module(SvmArch::Lookup(LookupConfig::optimized()))
+                    .unwrap(),
+            );
+        });
+    }
+
+    {
+        let (qt, fq) = fitted_tree(Application::Har, 4, 6);
+        let data = Application::Har.generate(7);
+        let codes = fq.code_row(&data.x[0]);
+        bench(&filter, "fig16_analog_tree", || {
             let at = AnalogTree::from_tree(&qt, AnalogTreeConfig::default());
-            black_box(at.predict(&codes))
-        })
-    });
-    let svm = SvmFlow::new(Application::RedWine, 7);
-    c.bench_function("fig17_analog_svm", |b| {
-        b.iter(|| black_box(svm.report(SvmArch::Analog, Technology::Egt)))
-    });
-}
+            black_box(at.predict(&codes));
+        });
+        let svm = SvmFlow::new(Application::RedWine, 7);
+        bench(&filter, "fig17_analog_svm", || {
+            black_box(svm.report(SvmArch::Analog, Technology::Egt));
+        });
+    }
 
-/// Verification machinery: batch simulation, equivalence checking and
-/// fault coverage on a representative bespoke tree.
-fn bench_verification(c: &mut Criterion) {
-    let (qt, fq) = fitted_tree(Application::Har, 4, 4);
-    let module = bespoke_parallel(&qt);
-    let data = Application::Har.generate(7);
-    let used = qt.used_features();
-    let vectors: Vec<Vec<u64>> = data
-        .x
-        .iter()
-        .take(128)
-        .map(|row| {
-            let codes = fq.code_row(row);
-            used.iter().map(|&f| codes[f]).collect()
-        })
-        .collect();
-    c.bench_function("verify_batch_simulate_128_vectors", |b| {
-        let mut sim = netlist::BatchSimulator::new(&module);
-        b.iter(|| {
+    {
+        let (qt, fq) = fitted_tree(Application::Har, 4, 4);
+        let module = bespoke_parallel(&qt);
+        let data = Application::Har.generate(7);
+        let used = qt.used_features();
+        let vectors: Vec<Vec<u64>> = data
+            .x
+            .iter()
+            .take(128)
+            .map(|row| {
+                let codes = fq.code_row(row);
+                used.iter().map(|&f| codes[f]).collect()
+            })
+            .collect();
+        bench(&filter, "verify_batch_simulate_128_vectors", || {
+            let mut sim = netlist::BatchSimulator::new(&module);
             for chunk in vectors.chunks(64) {
                 for (pi, port) in module.inputs.iter().enumerate() {
                     let lanes: Vec<u64> = chunk.iter().map(|v| v[pi]).collect();
@@ -181,33 +190,29 @@ fn bench_verification(c: &mut Criterion) {
                 sim.settle();
                 black_box(sim.lanes("class", chunk.len()));
             }
-        })
-    });
-    c.bench_function("verify_fault_coverage", |b| {
-        b.iter(|| black_box(netlist::fault_coverage(&module, &vectors[..32])))
-    });
-    let optimized = optimize(&module);
-    c.bench_function("verify_equivalence_sampled", |b| {
-        b.iter(|| black_box(netlist::check_equivalence(&module, &optimized, 8, 128)))
-    });
-}
+        });
+        bench(&filter, "verify_fault_coverage", || {
+            black_box(netlist::fault_coverage(&module, &vectors[..32]));
+        });
+        let optimized = optimize(&module);
+        bench(&filter, "verify_equivalence_sampled", || {
+            black_box(netlist::check_equivalence(&module, &optimized, 8, 128));
+        });
+    }
 
-/// Pipeline stages in isolation: optimize, analyze, simulate.
-fn bench_pipeline(c: &mut Criterion) {
-    let (qt, fq) = fitted_tree(Application::Pendigits, 6, 8);
-    let module = bespoke_parallel(&qt);
-    let lib = CellLibrary::for_technology(Technology::Egt);
-    c.bench_function("pipeline_optimize", |b| {
-        b.iter(|| black_box(optimize(&module)))
-    });
-    c.bench_function("pipeline_analyze", |b| {
-        b.iter(|| black_box(analyze(&module, &lib)))
-    });
-    let data = Application::Pendigits.generate(7);
-    let used = qt.used_features();
-    c.bench_function("pipeline_simulate_100_inferences", |b| {
-        let mut sim = Simulator::new(&module);
-        b.iter(|| {
+    {
+        let (qt, fq) = fitted_tree(Application::Pendigits, 6, 8);
+        let module = bespoke_parallel(&qt);
+        bench(&filter, "pipeline_optimize", || {
+            black_box(optimize(&module));
+        });
+        bench(&filter, "pipeline_analyze", || {
+            black_box(analyze(&module, &lib));
+        });
+        let data = Application::Pendigits.generate(7);
+        let used = qt.used_features();
+        bench(&filter, "pipeline_simulate_100_inferences", || {
+            let mut sim = Simulator::new(&module);
             for row in data.x.iter().take(100) {
                 let codes = fq.code_row(row);
                 for (slot, &f) in used.iter().enumerate() {
@@ -216,26 +221,6 @@ fn bench_pipeline(c: &mut Criterion) {
                 sim.settle();
                 black_box(sim.get("class"));
             }
-        })
-    });
+        });
+    }
 }
-
-criterion_group! {
-    name = experiments;
-    config = Criterion::default().sample_size(10);
-    targets =
-        bench_table1,
-        bench_table2,
-        bench_table3,
-        bench_table4,
-        bench_table5,
-        bench_fig3_fig19,
-        bench_fig6,
-        bench_fig7,
-        bench_fig9_fig10,
-        bench_fig11_12_13,
-        bench_fig16_fig17,
-        bench_verification,
-        bench_pipeline
-}
-criterion_main!(experiments);

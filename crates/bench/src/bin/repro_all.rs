@@ -1,13 +1,81 @@
-//! Runs every table and figure regenerator in sequence, printing all
-//! results and optionally dumping a combined JSON (`--json PATH`).
+//! Runs every table and figure regenerator, printing all results in the
+//! canonical order and optionally dumping a combined JSON report
+//! (`--json PATH`).
+//!
+//! The experiments are independent (each builds its own seeded
+//! workloads), so they are fanned out over the [`exec`] work pool and the
+//! finished tables are reassembled in list order — the printed output and
+//! the report are identical at any thread count, timing fields aside.
+//!
+//! Flags:
+//!
+//! - `--threads N` — pin the worker count (also settable via the
+//!   `PRINTED_ML_THREADS` environment variable; defaults to the
+//!   machine's hardware parallelism);
+//! - `--smoke` — run every experiment over reduced workloads (CI's
+//!   end-to-end harness check);
+//! - `--json PATH` — write the report (thread count, smoke flag, and
+//!   per-experiment wall-clock seconds plus tables) to `PATH`.
+
+use serde::Serialize;
 
 use bench::experiments as e;
 
 /// A named experiment regenerator.
 type Experiment = (&'static str, fn() -> Vec<bench::Table>);
 
+/// One finished experiment in the JSON report.
+#[derive(Serialize)]
+struct ExperimentResult {
+    name: &'static str,
+    /// Wall-clock seconds the regenerator took (the only report field
+    /// that varies between runs).
+    seconds: f64,
+    tables: Vec<bench::Table>,
+}
+
+/// The combined `--json` report.
+#[derive(Serialize)]
+struct Report {
+    threads: usize,
+    smoke: bool,
+    experiments: Vec<ExperimentResult>,
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: repro_all [--threads N] [--smoke] [--json PATH]");
+    std::process::exit(2);
+}
+
 fn main() {
-    let mut all = Vec::new();
+    let mut smoke = false;
+    let mut json_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--threads" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|v| v.parse().ok()).filter(|&n| n > 0) else {
+                    usage_error("--threads requires a positive integer");
+                };
+                exec::set_threads(n);
+            }
+            "--json" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    usage_error("--json requires a path");
+                };
+                json_path = Some(path.clone());
+            }
+            other => usage_error(&format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    bench::workloads::set_smoke(smoke);
+
     let experiments: Vec<Experiment> = vec![
         ("table1", e::table1),
         ("table2", e::table2),
@@ -27,13 +95,41 @@ fn main() {
         ("fig19", e::fig19),
         ("ablations", e::ablations),
     ];
-    for (name, f) in experiments {
-        eprintln!("[repro] running {name} ...");
-        let tables = f();
+    let threads = exec::threads();
+    eprintln!(
+        "[repro] running {} experiments on {} thread(s){}",
+        experiments.len(),
+        threads,
+        if smoke { " (smoke)" } else { "" }
+    );
+    let timed: Vec<(Vec<bench::Table>, f64)> = exec::parallel_map(&experiments, |_, &(name, f)| {
+        let (tables, seconds) = exec::time(f);
+        eprintln!("[repro] {name} finished in {seconds:.2}s");
+        (tables, seconds)
+    });
+
+    let mut results = Vec::with_capacity(experiments.len());
+    for (&(name, _), (tables, seconds)) in experiments.iter().zip(timed) {
         for t in &tables {
             print!("{t}");
         }
-        all.extend(tables);
+        results.push(ExperimentResult {
+            name,
+            seconds,
+            tables,
+        });
     }
-    bench::maybe_write_json(&all);
+    if let Some(path) = json_path {
+        let report = Report {
+            threads,
+            smoke,
+            experiments: results,
+        };
+        let body = serde_json::to_string_pretty(&report).expect("serialize report");
+        if let Err(err) = std::fs::write(&path, body) {
+            eprintln!("error: cannot write {path}: {err}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
 }

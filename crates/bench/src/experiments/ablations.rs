@@ -21,7 +21,7 @@ use printed_core::flow::{TreeArch, TreeFlow};
 use printed_core::system::{ClassifierSystem, FeatureExtraction};
 use printed_core::WIDTHS;
 
-use crate::workloads::SEED;
+use crate::workloads::{mc_trials, row_cap, SEED};
 use crate::{fmt3, Table};
 
 fn egt() -> CellLibrary {
@@ -36,7 +36,11 @@ pub fn ablation_bitwidth() -> Table {
         &["dataset", "bits", "accuracy", "area", "power"],
     );
     let lib = egt();
-    for app in [Application::Cardio, Application::Pendigits, Application::RedWine] {
+    for app in [
+        Application::Cardio,
+        Application::Pendigits,
+        Application::RedWine,
+    ] {
         let data = app.generate(SEED);
         let (train, test) = data.split(0.7, 42);
         let tree = DecisionTree::fit(&train, TreeParams::with_depth(4));
@@ -75,7 +79,10 @@ pub fn ablation_analog_buffers() -> Table {
         for buffers in [true, false] {
             let at = AnalogTree::from_tree(
                 &qt,
-                AnalogTreeConfig { encoding: ThresholdEncoding::Calibrated, buffers },
+                AnalogTreeConfig {
+                    encoding: ThresholdEncoding::Calibrated,
+                    buffers,
+                },
             );
             let worst = test
                 .x
@@ -112,7 +119,13 @@ pub fn ablation_threshold_encoding() -> Table {
             ("calibrated", ThresholdEncoding::Calibrated),
             ("paper-linear", ThresholdEncoding::PaperLinear),
         ] {
-            let at = AnalogTree::from_tree(&qt, AnalogTreeConfig { encoding, buffers: true });
+            let at = AnalogTree::from_tree(
+                &qt,
+                AnalogTreeConfig {
+                    encoding,
+                    buffers: true,
+                },
+            );
             let agree = test
                 .x
                 .iter()
@@ -179,9 +192,10 @@ pub fn ablation_rom_style() -> Table {
         let tree = DecisionTree::fit(&train, TreeParams::with_depth(depth));
         let fq = FeatureQuantizer::fit(&train, 8);
         let qt = QuantizedTree::from_tree(&tree, &fq);
-        for (name, style) in
-            [("crossbar", RomStyle::Crossbar), ("bespoke-dots", RomStyle::BespokeDots)]
-        {
+        for (name, style) in [
+            ("crossbar", RomStyle::Crossbar),
+            ("bespoke-dots", RomStyle::BespokeDots),
+        ] {
             let mut spec = SerialTreeSpec::conventional(depth);
             spec.rom_style = style;
             spec.n_features = qt.used_features().len().max(1);
@@ -237,7 +251,15 @@ pub fn ablation_forest_scaling() -> Table {
 pub fn system_level() -> Table {
     let mut t = Table::new(
         "System level (Fig. 18): full-system area/power and unit economics",
-        &["dataset", "system", "area", "power", "powered by", "unit cost @1", "@10k"],
+        &[
+            "dataset",
+            "system",
+            "area",
+            "power",
+            "powered by",
+            "unit cost @1",
+            "@10k",
+        ],
     );
     let fab = FabModel::for_technology(Technology::Egt);
     for app in [Application::Har, Application::Cardio, Application::RedWine] {
@@ -301,7 +323,14 @@ pub fn ablations() -> Vec<Table> {
 pub fn ablation_fanout() -> Table {
     let mut t = Table::new(
         "Ablation: max-fanout buffer insertion (bespoke parallel tree, EGT)",
-        &["dataset", "fanout limit", "max fanout", "gates", "area", "delay"],
+        &[
+            "dataset",
+            "fanout limit",
+            "max fanout",
+            "gates",
+            "area",
+            "delay",
+        ],
     );
     let lib = egt();
     for app in [Application::Pendigits] {
@@ -317,8 +346,16 @@ pub fn ablation_fanout() -> Table {
             let ppa = analyze(&repaired, &lib);
             t.row(vec![
                 app.name().into(),
-                if limit == usize::MAX { "none".into() } else { limit.to_string() },
-                if limit == usize::MAX { raw_fanout.to_string() } else { netlist::max_fanout(&repaired).to_string() },
+                if limit == usize::MAX {
+                    "none".into()
+                } else {
+                    limit.to_string()
+                },
+                if limit == usize::MAX {
+                    raw_fanout.to_string()
+                } else {
+                    netlist::max_fanout(&repaired).to_string()
+                },
                 repaired.gate_count().to_string(),
                 format!("{}", ppa.area),
                 format!("{}", ppa.delay),
@@ -366,8 +403,15 @@ pub fn variation_analysis() -> Table {
         let tree = DecisionTree::fit(&train, TreeParams::with_depth(4));
         let fq = FeatureQuantizer::fit(&train, 6);
         let qt = QuantizedTree::from_tree(&tree, &fq);
-        let rows: Vec<Vec<u64>> = test.x.iter().take(150).map(|r| fq.code_row(r)).collect();
-        for report in analog::variation_sweep(&qt, &rows, &[0.02, 0.05, 0.1, 0.2], 16, SEED) {
+        let rows: Vec<Vec<u64>> = test
+            .x
+            .iter()
+            .take(row_cap(150))
+            .map(|r| fq.code_row(r))
+            .collect();
+        for report in
+            analog::variation_sweep(&qt, &rows, &[0.02, 0.05, 0.1, 0.2], mc_trials(), SEED)
+        {
             t.row(vec![
                 format!("{} (tree)", app.name()),
                 fmt3(report.sigma),
@@ -388,9 +432,14 @@ pub fn variation_analysis() -> Table {
         let svm = SvmRegressor::fit(&train, 150, 1e-4);
         let fq = FeatureQuantizer::fit(&train, 8);
         let qs = QuantizedSvm::from_svm(&svm, &fq);
-        let rows: Vec<Vec<u64>> = test.x.iter().take(150).map(|r| fq.code_row(r)).collect();
+        let rows: Vec<Vec<u64>> = test
+            .x
+            .iter()
+            .take(row_cap(150))
+            .map(|r| fq.code_row(r))
+            .collect();
         for sigma in [0.02, 0.05, 0.1, 0.2] {
-            let report = analog::analyze_svm_variation(&qs, 11, &rows, sigma, 16, SEED);
+            let report = analog::analyze_svm_variation(&qs, 11, &rows, sigma, mc_trials(), SEED);
             t.row(vec![
                 "redwine (svm)".into(),
                 fmt3(report.sigma),
@@ -421,7 +470,7 @@ pub fn fault_coverage_analysis() -> Table {
             .test
             .x
             .iter()
-            .take(150)
+            .take(row_cap(150))
             .map(|row| {
                 let codes = flow.fq.code_row(row);
                 used.iter().map(|&f| codes[f]).collect()
@@ -457,7 +506,14 @@ pub fn ablation_serial_svm() -> Table {
     use printed_core::extension::serial_svm;
     let mut t = Table::new(
         "Ablation: serial vs parallel bespoke SVM engines (EGT)",
-        &["dataset", "engine", "cycles", "latency", "logic area", "power"],
+        &[
+            "dataset",
+            "engine",
+            "cycles",
+            "latency",
+            "logic area",
+            "power",
+        ],
     );
     let lib = egt();
     for app in [Application::RedWine, Application::Cardio, Application::Har] {
@@ -532,7 +588,10 @@ pub fn battery_life() -> Table {
         let flow = TreeFlow::new(app, 4, SEED);
         for (name, arch) in [
             ("bespoke-parallel", TreeArch::BespokeParallel),
-            ("analog", TreeArch::Analog(analog::tree::AnalogTreeConfig::default())),
+            (
+                "analog",
+                TreeArch::Analog(analog::tree::AnalogTreeConfig::default()),
+            ),
         ] {
             let r = flow.report(arch, Technology::Egt);
             let avg = r.average_power(DutyCycle::per_minute());
@@ -540,12 +599,7 @@ pub fn battery_life() -> Table {
                 .battery_days(&battery, DutyCycle::per_minute())
                 .map(|d| format!("{d:.0}"))
                 .unwrap_or_else(|| "peak too high".into());
-            t.row(vec![
-                app.name().into(),
-                name.into(),
-                format!("{avg}"),
-                days,
-            ]);
+            t.row(vec![app.name().into(), name.into(), format!("{avg}"), days]);
         }
     }
     t

@@ -26,7 +26,7 @@ fn median_improvement(items: &[Improvement]) -> Improvement {
 }
 use printed_core::LookupConfig;
 
-use crate::workloads::{svm_flows, tree_flows, DEPTHS, SEED};
+use crate::workloads::{deep_depths, depths, svm_flows, tree_flows, SEED};
 use crate::{fmt3, fmt_ratio, Table};
 
 /// Builds a per-dataset ratio figure: `arch` normalized against
@@ -130,7 +130,11 @@ fn feasibility_table(title: &str, reports: Vec<DesignReport>) -> Table {
         ]);
     }
     for (source, count) in summarize(&rows) {
-        t.row(vec![format!("[set] {source}"), String::new(), count.to_string()]);
+        t.row(vec![
+            format!("[set] {source}"),
+            String::new(),
+            count.to_string(),
+        ]);
     }
     t
 }
@@ -138,7 +142,7 @@ fn feasibility_table(title: &str, reports: Vec<DesignReport>) -> Table {
 /// Fig. 3: which printed sources can power *conventional* EGT trees.
 pub fn fig3() -> Vec<Table> {
     let mut reports = Vec::new();
-    for depth in DEPTHS {
+    for depth in depths() {
         // Use cardio as the representative loaded model; conventional
         // engine cost is model-independent.
         let flow = TreeFlow::new(Application::Cardio, depth, SEED);
@@ -159,7 +163,7 @@ pub fn fig3() -> Vec<Table> {
 pub fn fig6() -> Vec<Table> {
     vec![tree_ratio_figure(
         "Fig. 6: bespoke serial trees normalized against conventional serial (EGT)",
-        &DEPTHS,
+        &depths(),
         TreeArch::BespokeSerial,
         TreeArch::ConventionalSerial,
         Technology::Egt,
@@ -170,7 +174,7 @@ pub fn fig6() -> Vec<Table> {
 pub fn fig7() -> Vec<Table> {
     vec![tree_ratio_figure(
         "Fig. 7: bespoke parallel trees normalized against conventional parallel (EGT)",
-        &DEPTHS,
+        &depths(),
         TreeArch::BespokeParallel,
         TreeArch::ConventionalParallel,
         Technology::Egt,
@@ -184,7 +188,7 @@ pub fn fig9() -> Vec<Table> {
     // deep-tree configurations.
     vec![tree_ratio_figure(
         "Fig. 9: lookup-based parallel trees normalized against bespoke parallel (EGT)",
-        &[4, 8],
+        &deep_depths(),
         TreeArch::Lookup(LookupConfig::baseline()),
         TreeArch::BespokeParallel,
         Technology::Egt,
@@ -195,7 +199,7 @@ pub fn fig9() -> Vec<Table> {
 pub fn fig10() -> Vec<Table> {
     vec![tree_ratio_figure(
         "Fig. 10: optimized lookup trees (const-column + dots) vs bespoke parallel (EGT)",
-        &[4, 8],
+        &deep_depths(),
         TreeArch::Lookup(LookupConfig::optimized()),
         TreeArch::BespokeParallel,
         Technology::Egt,
@@ -236,7 +240,7 @@ pub fn fig13() -> Vec<Table> {
 pub fn fig16() -> Vec<Table> {
     vec![tree_ratio_figure(
         "Fig. 16: analog trees normalized against bespoke parallel digital trees (EGT)",
-        &DEPTHS,
+        &depths(),
         TreeArch::Analog(AnalogTreeConfig::default()),
         TreeArch::BespokeParallel,
         Technology::Egt,
@@ -271,9 +275,10 @@ pub fn fig19() -> Vec<Table> {
         }
     }
     for flow in svm_flows() {
-        for (tag, arch) in
-            [("SVMd-bespoke", SvmArch::Bespoke), ("SVMa", SvmArch::Analog)]
-        {
+        for (tag, arch) in [
+            ("SVMd-bespoke", SvmArch::Bespoke),
+            ("SVMa", SvmArch::Analog),
+        ] {
             let mut r = flow.report(arch, Technology::Egt);
             r.name = format!("{} {tag}", flow.app.name());
             reports.push(r);

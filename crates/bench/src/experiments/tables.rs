@@ -6,7 +6,6 @@ use ml::linear::{LogisticRegression, SvmClassifier, SvmRegressor};
 use ml::metrics::accuracy;
 use ml::mlp::{Mlp, MlpParams};
 use ml::opcount::CountOps;
-use ml::synth::Application;
 use ml::tree::{DecisionTree, TreeParams};
 use netlist::arith::{add, multiply, relu};
 use netlist::builder::NetlistBuilder;
@@ -19,7 +18,7 @@ use printed_core::conventional::serial_tree::{
 };
 use printed_core::conventional::svm::{generate as gen_svm, SvmSpec};
 
-use crate::workloads::SEED;
+use crate::workloads::{apps, depths, SEED};
 use crate::{fmt3, Table};
 
 fn tech_units(t: Technology) -> (&'static str, &'static str, &'static str) {
@@ -73,13 +72,24 @@ pub fn table1() -> Vec<Table> {
     );
     type PaperRow = (&'static str, [(f64, f64, f64); 3]);
     let paper: [PaperRow; 3] = [
-        ("Comparator", [(11.2, 0.15, 0.61), (9.5, 0.21, 8.32), (0.23, 94.0, 0.14)]),
-        ("MAC", [(27.0, 1.12, 4.12), (16.14, 1.4, 57.0), (0.57, 255.0, 0.51)]),
-        ("ReLU", [(2.54, 0.03, 0.14), (1.44, 0.35, 10.0), (0.1, 67.0, 0.46)]),
+        (
+            "Comparator",
+            [(11.2, 0.15, 0.61), (9.5, 0.21, 8.32), (0.23, 94.0, 0.14)],
+        ),
+        (
+            "MAC",
+            [(27.0, 1.12, 4.12), (16.14, 1.4, 57.0), (0.57, 255.0, 0.51)],
+        ),
+        (
+            "ReLU",
+            [(2.54, 0.03, 0.14), (1.44, 0.35, 10.0), (0.1, 67.0, 0.46)],
+        ),
     ];
-    for (name, modules) in
-        [("Comparator", comparator()), ("MAC", mac()), ("ReLU", relu8())]
-    {
+    for (name, modules) in [
+        ("Comparator", comparator()),
+        ("MAC", mac()),
+        ("ReLU", relu8()),
+    ] {
         for (ti, tech) in Technology::ALL.into_iter().enumerate() {
             let lib = CellLibrary::for_technology(tech);
             let ppa = analyze(&modules, &lib);
@@ -92,7 +102,12 @@ pub fn table1() -> Vec<Table> {
                 format!("{} {du}", fmt3(d)),
                 format!("{} {au}", fmt3(a)),
                 format!("{} {pu}", fmt3(p)),
-                format!("{}/{}/{}", fmt3(reference.0), fmt3(reference.1), fmt3(reference.2)),
+                format!(
+                    "{}/{}/{}",
+                    fmt3(reference.0),
+                    fmt3(reference.1),
+                    fmt3(reference.2)
+                ),
             ]);
         }
     }
@@ -108,7 +123,7 @@ pub fn table2() -> Vec<Table> {
         "Table II: accuracy (A), op counts (#C, #M) and projected EGT cost",
         &["dataset", "model", "A", "#C", "#M", "EGT area", "EGT power"],
     );
-    for app in Application::ALL {
+    for app in apps() {
         let data = app.generate(SEED);
         let (train, test) = data.split(0.7, 42);
         let s = Standardizer::fit(&train);
@@ -116,95 +131,95 @@ pub fn table2() -> Vec<Table> {
         let acc = |pred: &mut dyn FnMut(&[f64]) -> usize| {
             accuracy(test.x.iter().map(|r| pred(r)), test.y.iter().copied())
         };
-        for depth in [1usize, 2, 4, 8] {
+        for depth in depths() {
             let m = DecisionTree::fit(&train, TreeParams::with_depth(depth));
             let ops = m.op_count();
             let a = acc(&mut |r| m.predict(r));
             let est = printed_core::estimate(&ops, &costs);
-                t.row(vec![
-                    app.name().into(),
-                    format!("DT-{depth}"),
-                    fmt3(a),
-                    ops.comparisons.to_string(),
-                    ops.macs.to_string(),
-                    format!("{}", est.area),
-                    format!("{}", est.power),
-                ]);
+            t.row(vec![
+                app.name().into(),
+                format!("DT-{depth}"),
+                fmt3(a),
+                ops.comparisons.to_string(),
+                ops.macs.to_string(),
+                format!("{}", est.area),
+                format!("{}", est.power),
+            ]);
         }
         for n in [2usize, 4, 8] {
             let m = RandomForest::fit(&train, ForestParams::paper(n));
             let ops = m.op_count();
             let a = acc(&mut |r| m.predict(r));
             let est = printed_core::estimate(&ops, &costs);
-                t.row(vec![
-                    app.name().into(),
-                    format!("RF-{n}"),
-                    fmt3(a),
-                    ops.comparisons.to_string(),
-                    ops.macs.to_string(),
-                    format!("{}", est.area),
-                    format!("{}", est.power),
-                ]);
+            t.row(vec![
+                app.name().into(),
+                format!("RF-{n}"),
+                fmt3(a),
+                ops.comparisons.to_string(),
+                ops.macs.to_string(),
+                format!("{}", est.area),
+                format!("{}", est.power),
+            ]);
         }
         for (tag, params) in [("MLP-1", MlpParams::mlp1()), ("MLP-3", MlpParams::mlp3())] {
             let m = Mlp::fit(&train, &params);
             let ops = m.op_count();
             let a = acc(&mut |r| m.predict(r));
             let est = printed_core::estimate(&ops, &costs);
-                t.row(vec![
-                    app.name().into(),
-                    tag.into(),
-                    fmt3(a),
-                    ops.comparisons.to_string(),
-                    ops.macs.to_string(),
-                    format!("{}", est.area),
-                    format!("{}", est.power),
-                ]);
+            t.row(vec![
+                app.name().into(),
+                tag.into(),
+                fmt3(a),
+                ops.comparisons.to_string(),
+                ops.macs.to_string(),
+                format!("{}", est.area),
+                format!("{}", est.power),
+            ]);
         }
         {
             let m = LogisticRegression::fit(&train, 150, 0.5);
             let ops = m.op_count();
             let a = acc(&mut |r| m.predict(r));
             let est = printed_core::estimate(&ops, &costs);
-                t.row(vec![
-                    app.name().into(),
-                    "LR".into(),
-                    fmt3(a),
-                    ops.comparisons.to_string(),
-                    ops.macs.to_string(),
-                    format!("{}", est.area),
-                    format!("{}", est.power),
-                ]);
+            t.row(vec![
+                app.name().into(),
+                "LR".into(),
+                fmt3(a),
+                ops.comparisons.to_string(),
+                ops.macs.to_string(),
+                format!("{}", est.area),
+                format!("{}", est.power),
+            ]);
         }
         {
             let m = SvmClassifier::fit(&train, 4, 1e-3, SEED);
             let ops = m.op_count();
             let a = acc(&mut |r| m.predict(r));
             let est = printed_core::estimate(&ops, &costs);
-                t.row(vec![
-                    app.name().into(),
-                    "SVM-C".into(),
-                    fmt3(a),
-                    ops.comparisons.to_string(),
-                    ops.macs.to_string(),
-                    format!("{}", est.area),
-                    format!("{}", est.power),
-                ]);
+            t.row(vec![
+                app.name().into(),
+                "SVM-C".into(),
+                fmt3(a),
+                ops.comparisons.to_string(),
+                ops.macs.to_string(),
+                format!("{}", est.area),
+                format!("{}", est.power),
+            ]);
         }
         {
             let m = SvmRegressor::fit(&train, 200, 1e-4);
             let ops = m.op_count();
             let a = acc(&mut |r| m.predict(r));
             let est = printed_core::estimate(&ops, &costs);
-                t.row(vec![
-                    app.name().into(),
-                    "SVM-R".into(),
-                    fmt3(a),
-                    ops.comparisons.to_string(),
-                    ops.macs.to_string(),
-                    format!("{}", est.area),
-                    format!("{}", est.power),
-                ]);
+            t.row(vec![
+                app.name().into(),
+                "SVM-R".into(),
+                fmt3(a),
+                ops.comparisons.to_string(),
+                ops.macs.to_string(),
+                format!("{}", est.area),
+                format!("{}", est.power),
+            ]);
         }
     }
     vec![t]
@@ -215,7 +230,9 @@ pub fn table2() -> Vec<Table> {
 pub fn table3() -> Vec<Table> {
     let mut t = Table::new(
         "Table III: conventional serial trees (L = logic, M = memory)",
-        &["tree", "tech", "latency", "area L", "area M", "power L", "power M", "gates"],
+        &[
+            "tree", "tech", "latency", "area L", "area M", "power L", "power M", "gates",
+        ],
     );
     for depth in [1usize, 2, 4, 8] {
         let spec = SerialTreeSpec::conventional(depth);

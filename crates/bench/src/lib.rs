@@ -70,7 +70,11 @@ impl fmt::Display for Table {
             writeln!(f)
         };
         line(f, &self.headers)?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        )?;
         for row in &self.rows {
             line(f, row)?;
         }

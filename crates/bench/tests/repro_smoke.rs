@@ -1,0 +1,72 @@
+//! End-to-end check of the `repro_all` orchestrator in smoke mode: the
+//! binary must exit cleanly, and its `--json` report must parse and
+//! cover every one of the 17 experiments. This is the same contract the
+//! CI smoke job enforces on the release binary.
+
+use std::process::Command;
+
+const EXPECTED: [&str; 17] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig3",
+    "fig6",
+    "fig7",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig16",
+    "fig17",
+    "fig19",
+    "ablations",
+];
+
+#[test]
+fn smoke_report_parses_and_covers_every_experiment() {
+    let out_path = std::env::temp_dir().join("printed_ml_repro_smoke.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_repro_all"))
+        .args(["--smoke", "--threads", "2", "--json"])
+        .arg(&out_path)
+        .output()
+        .expect("run repro_all");
+    assert!(
+        output.status.success(),
+        "repro_all failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let body = std::fs::read_to_string(&out_path).expect("read report");
+    std::fs::remove_file(&out_path).ok();
+    let report: serde_json::Value = serde_json::from_str(&body).expect("parse report");
+    assert_eq!(report.get("smoke").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(report.get("threads").and_then(|v| v.as_u64()), Some(2));
+    let experiments = report
+        .get("experiments")
+        .and_then(|v| v.as_array())
+        .expect("experiments array");
+    let names: Vec<&str> = experiments
+        .iter()
+        .map(|e| e.get("name").and_then(|v| v.as_str()).expect("name"))
+        .collect();
+    assert_eq!(names, EXPECTED, "experiment list drifted");
+    for e in experiments {
+        let seconds = e.get("seconds").and_then(|v| v.as_f64()).expect("seconds");
+        assert!(seconds >= 0.0);
+        let tables = e.get("tables").and_then(|v| v.as_array()).expect("tables");
+        assert!(!tables.is_empty(), "experiment produced no tables");
+    }
+}
+
+#[test]
+fn unknown_flags_are_rejected() {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro_all"))
+        .arg("--frobnicate")
+        .output()
+        .expect("run repro_all");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("usage"));
+}

@@ -87,7 +87,11 @@ mod tests {
         let imp = analog.improvement_over(&digital);
         assert!(imp.area > 50.0, "area improvement {}", imp.area);
         assert!(imp.power > 5.0, "power improvement {}", imp.power);
-        assert!(imp.delay < 1.0, "analog should be slower, got {}", imp.delay);
+        assert!(
+            imp.delay < 1.0,
+            "analog should be slower, got {}",
+            imp.delay
+        );
         assert!(analog.transistors > 0);
     }
 
@@ -102,13 +106,21 @@ mod tests {
         let fq = FeatureQuantizer::fit(&train, 8);
         let qs = QuantizedSvm::from_svm(&svm, &fq);
         let lib = CellLibrary::for_technology(Technology::Egt);
-        let digital =
-            report_from_ppa("bespoke", Technology::Egt, &analyze(&bespoke_svm(&qs), &lib), 1);
+        let digital = report_from_ppa(
+            "bespoke",
+            Technology::Egt,
+            &analyze(&bespoke_svm(&qs), &lib),
+            1,
+        );
         let analog = analog_svm_report(&qs, 11);
         let imp = analog.improvement_over(&digital);
         assert!(imp.area > 50.0, "area improvement {}", imp.area);
         assert!(imp.power > 3.0, "power improvement {}", imp.power);
-        assert!(imp.delay < 1.0, "analog should be slower, got {}", imp.delay);
+        assert!(
+            imp.delay < 1.0,
+            "analog should be slower, got {}",
+            imp.delay
+        );
     }
 
     #[test]

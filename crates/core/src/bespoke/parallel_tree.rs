@@ -30,9 +30,16 @@ fn ceil_log2(n: usize) -> usize {
 pub fn bespoke_parallel(tree: &QuantizedTree) -> Module {
     let mut b = NetlistBuilder::new("bespoke_parallel_tree");
     let used = tree.used_features();
-    let feature_ports: Vec<Vec<Signal>> =
-        used.iter().enumerate().map(|(slot, _)| b.input(format!("f{slot}"), tree.bits())).collect();
-    let slot_of = |feature: usize| used.iter().position(|&f| f == feature).expect("used feature");
+    let feature_ports: Vec<Vec<Signal>> = used
+        .iter()
+        .enumerate()
+        .map(|(slot, _)| b.input(format!("f{slot}"), tree.bits()))
+        .collect();
+    let slot_of = |feature: usize| {
+        used.iter()
+            .position(|&f| f == feature)
+            .expect("used feature")
+    };
     let class_bits = ceil_log2(tree.n_classes());
 
     fn emit(
@@ -45,7 +52,12 @@ pub fn bespoke_parallel(tree: &QuantizedTree) -> Module {
     ) -> Vec<Signal> {
         match &tree.nodes()[node] {
             QNode::Leaf { class } => b.const_word(*class as u64, class_bits),
-            QNode::Split { feature, threshold, left, right } => {
+            QNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 let x = &feature_ports[slot_of(*feature)];
                 let tau = b.const_word(*threshold, x.len());
                 b.push_region("compare");
@@ -76,7 +88,11 @@ mod tests {
     use netlist::sim::Simulator;
     use pdk::{CellLibrary, Technology};
 
-    fn setup(app: Application, depth: usize, bits: usize) -> (QuantizedTree, FeatureQuantizer, ml::Dataset) {
+    fn setup(
+        app: Application,
+        depth: usize,
+        bits: usize,
+    ) -> (QuantizedTree, FeatureQuantizer, ml::Dataset) {
         let data = app.generate(7);
         let (train, test) = data.split(0.7, 42);
         let tree = DecisionTree::fit(&train, TreeParams::with_depth(depth));

@@ -18,7 +18,9 @@ use crate::conventional::serial_tree::{generate, program, SerialTreeSpec};
 pub fn bespoke_spec(tree: &QuantizedTree) -> SerialTreeSpec {
     let (splits, _) = tree.heap_layout();
     let max_tau = splits.iter().map(|s| s.2).max().unwrap_or(0);
-    let tau_bits = (64 - max_tau.leading_zeros() as usize).max(1).min(tree.bits());
+    let tau_bits = (64 - max_tau.leading_zeros() as usize)
+        .max(1)
+        .min(tree.bits());
     SerialTreeSpec {
         depth: tree.depth().max(1),
         width: tree.bits(),
@@ -58,7 +60,11 @@ mod tests {
     use netlist::sim::Simulator;
     use pdk::{CellLibrary, Technology};
 
-    fn setup(app: Application, depth: usize, bits: usize) -> (QuantizedTree, FeatureQuantizer, ml::Dataset) {
+    fn setup(
+        app: Application,
+        depth: usize,
+        bits: usize,
+    ) -> (QuantizedTree, FeatureQuantizer, ml::Dataset) {
         let data = app.generate(7);
         let (train, test) = data.split(0.7, 42);
         let tree = DecisionTree::fit(&train, TreeParams::with_depth(depth));
@@ -101,7 +107,12 @@ mod tests {
         );
         let (_, module) = bespoke_serial(&qt);
         let besp = analyze(&module, &lib);
-        assert!(besp.area < conv.area, "bespoke {} vs conv {}", besp.area, conv.area);
+        assert!(
+            besp.area < conv.area,
+            "bespoke {} vs conv {}",
+            besp.area,
+            conv.area
+        );
         assert!(besp.power < conv.power);
     }
 

@@ -10,7 +10,7 @@
 //! folded in.
 
 use ml::quant::QuantizedSvm;
-use netlist::arith::{adder_tree, add, const_multiply};
+use netlist::arith::{add, adder_tree, const_multiply};
 use netlist::builder::NetlistBuilder;
 use netlist::comb::unsigned_gt;
 use netlist::ir::{Module, Signal};
@@ -29,20 +29,37 @@ pub fn bespoke_svm(svm: &QuantizedSvm) -> Module {
     let width = svm.bits();
 
     // One port per live feature.
-    let mut live: Vec<usize> =
-        svm.pos_terms().iter().chain(svm.neg_terms()).map(|&(f, _)| f).collect();
+    let mut live: Vec<usize> = svm
+        .pos_terms()
+        .iter()
+        .chain(svm.neg_terms())
+        .map(|&(f, _)| f)
+        .collect();
     live.sort_unstable();
     live.dedup();
-    let ports: std::collections::HashMap<usize, Vec<Signal>> =
-        live.iter().map(|&f| (f, b.input(format!("x{f}"), width))).collect();
+    let ports: std::collections::HashMap<usize, Vec<Signal>> = live
+        .iter()
+        .map(|&f| (f, b.input(format!("x{f}"), width)))
+        .collect();
 
     // Value bounds decide the common comparison width.
     let max_code: u128 = (1u128 << width) - 1;
-    let max_p: u128 =
-        svm.pos_terms().iter().map(|&(_, m)| m as u128 * max_code).sum();
-    let max_n: u128 =
-        svm.neg_terms().iter().map(|&(_, m)| m as u128 * max_code).sum();
-    let max_b: u128 = svm.boundaries().iter().map(|&v| v.unsigned_abs() as u128).max().unwrap_or(0);
+    let max_p: u128 = svm
+        .pos_terms()
+        .iter()
+        .map(|&(_, m)| m as u128 * max_code)
+        .sum();
+    let max_n: u128 = svm
+        .neg_terms()
+        .iter()
+        .map(|&(_, m)| m as u128 * max_code)
+        .sum();
+    let max_b: u128 = svm
+        .boundaries()
+        .iter()
+        .map(|&v| v.unsigned_abs() as u128)
+        .max()
+        .unwrap_or(0);
     let max_val = max_p.max(max_n + max_b).max(1);
     let cmp_width = (128 - max_val.leading_zeros() as usize) + 1;
 
@@ -88,7 +105,11 @@ pub fn bespoke_svm(svm: &QuantizedSvm) -> Module {
         popcount(&mut b, &therm)
     };
     b.output("class", &class);
-    let therm_out = if therm.is_empty() { vec![Signal::ZERO] } else { therm };
+    let therm_out = if therm.is_empty() {
+        vec![Signal::ZERO]
+    } else {
+        therm
+    };
     b.output("therm", &therm_out);
     optimize(&b.finish())
 }
@@ -125,7 +146,11 @@ mod tests {
                 sim.set(&format!("x{f}"), codes[f]);
             }
             sim.settle();
-            assert_eq!(sim.get("class") as usize, qs.predict(&codes), "row mismatch");
+            assert_eq!(
+                sim.get("class") as usize,
+                qs.predict(&codes),
+                "row mismatch"
+            );
         }
     }
 
@@ -145,11 +170,19 @@ mod tests {
         let lib = CellLibrary::for_technology(Technology::Egt);
         let (qs, _, _) = setup(Application::RedWine, 8);
         let conv = analyze(
-            &gen_conv(&SvmSpec { width: 8, n_features: 11, n_boundaries: 5 }),
+            &gen_conv(&SvmSpec {
+                width: 8,
+                n_features: 11,
+                n_boundaries: 5,
+            }),
             &lib,
         );
         let besp = analyze(&bespoke_svm(&qs), &lib);
-        assert!(conv.area.ratio(besp.area) > 3.0, "area {}", conv.area.ratio(besp.area));
+        assert!(
+            conv.area.ratio(besp.area) > 3.0,
+            "area {}",
+            conv.area.ratio(besp.area)
+        );
         assert!(conv.power.ratio(besp.power) > 3.0);
         assert!(conv.delay >= besp.delay);
     }

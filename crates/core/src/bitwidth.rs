@@ -54,7 +54,14 @@ pub fn choose_tree_width(
         .find(|c| round3(c.2) >= best)
         .expect("at least one candidate");
     let bits = fq.bits();
-    (fq, qt, WidthChoice { bits, accuracy: acc })
+    (
+        fq,
+        qt,
+        WidthChoice {
+            bits,
+            accuracy: acc,
+        },
+    )
 }
 
 /// Width search for a trained SVM regressor, same selection rule.
@@ -81,7 +88,14 @@ pub fn choose_svm_width(
         .find(|c| round3(c.2) >= best)
         .expect("at least one candidate");
     let bits = fq.bits();
-    (fq, qs, WidthChoice { bits, accuracy: acc })
+    (
+        fq,
+        qs,
+        WidthChoice {
+            bits,
+            accuracy: acc,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -114,7 +128,13 @@ mod tests {
                 test.x.iter().map(|r| qt16.predict(&fq16.code_row(r))),
                 test.y.iter().copied(),
             );
-            assert!(choice.accuracy >= acc16 - 0.0015, "{}: {} vs {}", app.name(), choice.accuracy, acc16);
+            assert!(
+                choice.accuracy >= acc16 - 0.0015,
+                "{}: {} vs {}",
+                app.name(),
+                choice.accuracy,
+                acc16
+            );
         }
     }
 

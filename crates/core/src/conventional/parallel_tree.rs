@@ -46,8 +46,9 @@ impl ParallelTreeSpec {
 /// left to right.
 pub fn generate(spec: &ParallelTreeSpec) -> Module {
     let mut b = NetlistBuilder::new(format!("parallel_tree_d{}", spec.depth));
-    let features: Vec<Vec<Signal>> =
-        (0..spec.n_features).map(|i| b.input(format!("f{i}"), spec.width)).collect();
+    let features: Vec<Vec<Signal>> = (0..spec.n_features)
+        .map(|i| b.input(format!("f{i}"), spec.width))
+        .collect();
 
     let n_nodes = (1usize << spec.depth) - 1;
     let n_leaves = 1usize << spec.depth;
@@ -87,7 +88,14 @@ pub fn generate(spec: &ParallelTreeSpec) -> Module {
         }
         let d = decisions[pos - 1];
         let left = select(b, pos * 2, depth_left - 1, decisions, classes, first_leaf);
-        let right = select(b, pos * 2 + 1, depth_left - 1, decisions, classes, first_leaf);
+        let right = select(
+            b,
+            pos * 2 + 1,
+            depth_left - 1,
+            decisions,
+            classes,
+            first_leaf,
+        );
         b.mux_word(d, &left, &right)
     }
     let class = select(&mut b, 1, spec.depth, &decisions, &classes, n_leaves);
@@ -106,7 +114,12 @@ mod tests {
     fn engine_evaluates_a_loaded_tree() {
         // Depth-2 engine: nodes 1..=3, leaves 0..=3. Load a tree over
         // feature port 0 (root) and ports 1, 2 (children).
-        let spec = ParallelTreeSpec { depth: 2, width: 8, n_features: 3, class_bits: 5 };
+        let spec = ParallelTreeSpec {
+            depth: 2,
+            width: 8,
+            n_features: 3,
+            class_bits: 5,
+        };
         let m = generate(&spec);
         let mut sim = Simulator::new(&m);
         // thresholds: root (node 0, feature 0) at 100; node 1 (feature 1)

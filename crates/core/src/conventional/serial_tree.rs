@@ -85,9 +85,14 @@ pub fn program(tree: &QuantizedTree, spec: &SerialTreeSpec) -> SerialTreeProgram
     // first-use order.
     let used = tree.used_features();
     let mux_slot = |feature: usize| -> u64 {
-        used.iter().position(|&f| f == feature).expect("feature in used list") as u64
+        used.iter()
+            .position(|&f| f == feature)
+            .expect("feature in used list") as u64
     };
-    assert!(used.len() <= spec.n_features, "tree uses more features than the engine has");
+    assert!(
+        used.len() <= spec.n_features,
+        "tree uses more features than the engine has"
+    );
     for (pos, feature, tau) in &splits {
         assert!(*tau <= max_tau);
         threshold_rom[*pos] = tau | (mux_slot(*feature) << spec.tau_bits);
@@ -95,7 +100,10 @@ pub fn program(tree: &QuantizedTree, spec: &SerialTreeSpec) -> SerialTreeProgram
     }
     let mut class_rom = vec![0u64; 1 << spec.depth];
     for (pos, depth, class) in &leaves {
-        assert!((*class as u64) < (1 << spec.class_bits), "class exceeds class_bits");
+        assert!(
+            (*class as u64) < (1 << spec.class_bits),
+            "class exceeds class_bits"
+        );
         let path = pos - (1 << depth);
         let shift = spec.depth - depth;
         // Fill the whole block reachable below this leaf.
@@ -103,7 +111,10 @@ pub fn program(tree: &QuantizedTree, spec: &SerialTreeSpec) -> SerialTreeProgram
             class_rom[(path << shift) | junk] = *class as u64;
         }
     }
-    SerialTreeProgram { threshold_rom, class_rom }
+    SerialTreeProgram {
+        threshold_rom,
+        class_rom,
+    }
 }
 
 /// Feature-select field width.
@@ -180,11 +191,15 @@ mod tests {
     use ml::quant::{FeatureQuantizer, QuantizedTree};
     use ml::synth::Application;
     use ml::tree::{DecisionTree, TreeParams};
-    use netlist::sim::Simulator;
     use netlist::analyze;
+    use netlist::sim::Simulator;
     use pdk::{CellLibrary, Technology};
 
-    fn setup(app: Application, depth: usize, bits: usize) -> (QuantizedTree, FeatureQuantizer, ml::Dataset) {
+    fn setup(
+        app: Application,
+        depth: usize,
+        bits: usize,
+    ) -> (QuantizedTree, FeatureQuantizer, ml::Dataset) {
         let data = app.generate(7);
         let (train, test) = data.split(0.7, 42);
         let tree = DecisionTree::fit(&train, TreeParams::with_depth(depth));

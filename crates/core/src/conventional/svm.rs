@@ -25,7 +25,11 @@ impl SvmSpec {
     /// The paper's conventional configuration: 263 features (the maximum
     /// across the benchmark datasets) and a 15-boundary class mapper.
     pub fn conventional(width: usize) -> Self {
-        SvmSpec { width, n_features: 263, n_boundaries: 15 }
+        SvmSpec {
+            width,
+            n_features: 263,
+            n_boundaries: 15,
+        }
     }
 
     /// Width of the dot-product accumulator.
@@ -91,7 +95,11 @@ mod tests {
 
     #[test]
     fn engine_computes_dot_product_and_class() {
-        let spec = SvmSpec { width: 4, n_features: 3, n_boundaries: 2 };
+        let spec = SvmSpec {
+            width: 4,
+            n_features: 3,
+            n_boundaries: 2,
+        };
         let m = generate(&spec);
         let mut sim = Simulator::new(&m);
         // sum = 3*5 + 2*7 + 1*4 = 33.
@@ -105,7 +113,7 @@ mod tests {
         sim.settle();
         assert_eq!(sim.get("sum"), 33);
         assert_eq!(sim.get("class"), 1); // crossed b0 only
-        // Push the sum over the second boundary.
+                                         // Push the sum over the second boundary.
         sim.set("x0", 5);
         sim.step();
         sim.settle();
@@ -133,7 +141,14 @@ mod tests {
         // Table V's sweep: area and power grow superlinearly with width.
         let lib = CellLibrary::for_technology(Technology::Egt);
         let cost = |w: usize| {
-            analyze(&generate(&SvmSpec { width: w, n_features: 24, n_boundaries: 5 }), &lib)
+            analyze(
+                &generate(&SvmSpec {
+                    width: w,
+                    n_features: 24,
+                    n_boundaries: 5,
+                }),
+                &lib,
+            )
         };
         let c4 = cost(4);
         let c8 = cost(8);
@@ -148,7 +163,11 @@ mod tests {
         let lib = CellLibrary::for_technology(Technology::Egt);
         // A scaled-down conventional engine already exceeds Molex's 30 mW.
         let ppa = analyze(
-            &generate(&SvmSpec { width: 4, n_features: 64, n_boundaries: 15 }),
+            &generate(&SvmSpec {
+                width: 4,
+                n_features: 64,
+                n_boundaries: 15,
+            }),
             &lib,
         );
         assert!(ppa.power.as_mw() > 30.0, "got {}", ppa.power);

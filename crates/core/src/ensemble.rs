@@ -38,7 +38,12 @@ fn emit_tree(
 ) -> Vec<Signal> {
     match &tree.nodes()[node] {
         QNode::Leaf { class } => b.const_word(*class as u64, class_bits),
-        QNode::Split { feature, threshold, left, right } => {
+        QNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
             let x = ports[feature].clone();
             let tau = b.const_word(*threshold, x.len());
             let r = unsigned_gt(b, &x, &tau);
@@ -101,8 +106,14 @@ pub fn forest_engine(forest: &QuantizedForest, style: ForestStyle) -> Module {
             let mut groups: HashMap<usize, Vec<(usize, usize, u64)>> = HashMap::new();
             for (ti, tree) in forest.trees().iter().enumerate() {
                 for (ni, node) in tree.nodes().iter().enumerate() {
-                    if let QNode::Split { feature, threshold, .. } = node {
-                        groups.entry(*feature).or_default().push((ti, ni, *threshold));
+                    if let QNode::Split {
+                        feature, threshold, ..
+                    } = node
+                    {
+                        groups
+                            .entry(*feature)
+                            .or_default()
+                            .push((ti, ni, *threshold));
                     }
                 }
             }
@@ -116,13 +127,15 @@ pub fn forest_engine(forest: &QuantizedForest, style: ForestStyle) -> Module {
                 for chunk in nodes.chunks(64) {
                     let contents: Vec<u64> = (0..words as u64)
                         .map(|code| {
-                            chunk.iter().enumerate().fold(0u64, |acc, (j, &(_, _, tau))| {
-                                acc | (((code > tau) as u64) << j)
-                            })
+                            chunk
+                                .iter()
+                                .enumerate()
+                                .fold(0u64, |acc, (j, &(_, _, tau))| {
+                                    acc | (((code > tau) as u64) << j)
+                                })
                         })
                         .collect();
-                    let outs =
-                        emit_lut(&mut b, &ports[&feature], &contents, chunk.len(), config);
+                    let outs = emit_lut(&mut b, &ports[&feature], &contents, chunk.len(), config);
                     for (j, &(ti, ni, _)) in chunk.iter().enumerate() {
                         decision.insert((ti, ni), outs[j]);
                     }
@@ -163,8 +176,10 @@ pub fn forest_engine(forest: &QuantizedForest, style: ForestStyle) -> Module {
     let mut counts: Vec<Vec<Signal>> = Vec::with_capacity(forest.n_classes());
     for c in 0..forest.n_classes() {
         let code = b.const_word(c as u64, class_bits);
-        let matches: Vec<Signal> =
-            tree_classes.iter().map(|tc| equals(&mut b, tc, &code)).collect();
+        let matches: Vec<Signal> = tree_classes
+            .iter()
+            .map(|tc| equals(&mut b, tc, &code))
+            .collect();
         let mut count = popcount(&mut b, &matches);
         count.resize(vote_bits.max(count.len()), Signal::ZERO);
         counts.push(count);
@@ -206,7 +221,11 @@ mod tests {
     use netlist::sim::Simulator;
     use pdk::{CellLibrary, Technology};
 
-    fn setup(app: Application, n_trees: usize, bits: usize) -> (QuantizedForest, FeatureQuantizer, ml::Dataset) {
+    fn setup(
+        app: Application,
+        n_trees: usize,
+        bits: usize,
+    ) -> (QuantizedForest, FeatureQuantizer, ml::Dataset) {
         let data = app.generate(7);
         let (train, test) = data.split(0.7, 42);
         let forest = RandomForest::fit(&train, ForestParams::paper(n_trees));
@@ -240,7 +259,9 @@ mod tests {
                 sim.set(&format!("f{f}"), codes[f]);
             }
             sim.settle();
-            let total: u64 = (0..qf.n_classes()).map(|c| sim.get(&format!("votes{c}"))).sum();
+            let total: u64 = (0..qf.n_classes())
+                .map(|c| sim.get(&format!("votes{c}")))
+                .sum();
             assert_eq!(total, qf.trees().len() as u64);
         }
     }
@@ -282,7 +303,11 @@ mod lookup_forest_tests {
         let (train, test) = data.split(0.7, 42);
         let forest = RandomForest::fit(
             &train,
-            ForestParams { n_trees: 4, tree: TreeParams::with_depth(8), seed: 7 },
+            ForestParams {
+                n_trees: 4,
+                tree: TreeParams::with_depth(8),
+                seed: 7,
+            },
         );
         let fq = FeatureQuantizer::fit(&train, bits);
         (QuantizedForest::from_forest(&forest, &fq), fq, test)
@@ -305,28 +330,36 @@ mod lookup_forest_tests {
 
     #[test]
     fn ensembles_amortize_decoders_better_than_single_trees() {
-        // Cross-tree sharing: the lookup forest's ROM overhead per
-        // comparison is lower than a single lookup tree's, so the
-        // lookup-vs-bespoke ratio improves with ensemble size.
+        // Cross-tree sharing: the lookup forest merges every member tree's
+        // threshold columns for a feature into one ROM behind one address
+        // decoder, so it needs fewer decoders — and strictly less ROM area
+        // — than the same members built as separate lookup trees.
         let lib = CellLibrary::for_technology(Technology::Egt);
-        let (qf, _, _) = deep_forest(4);
-        let bespoke = analyze(&forest_engine(&qf, ForestStyle::Bespoke), &lib);
-        let lookup = analyze(
-            &forest_engine(&qf, ForestStyle::Lookup(LookupConfig::optimized())),
-            &lib,
-        );
-        let forest_gain = bespoke.area.ratio(lookup.area);
-        // Single-tree comparison on the first member.
-        let single = qf.trees()[0].clone();
-        let single_bespoke = analyze(&crate::bespoke::bespoke_parallel(&single), &lib);
-        let single_lookup = analyze(
-            &crate::lookup::lookup_parallel(&single, LookupConfig::optimized()),
-            &lib,
-        );
-        let single_gain = single_bespoke.area.ratio(single_lookup.area);
+        // RF-8: with eight √n-feature subsets over pendigits' 16 features,
+        // member trees are guaranteed to share features.
+        let data = Application::Pendigits.generate(7);
+        let (train, _) = data.split(0.7, 42);
+        let forest_model = RandomForest::fit(&train, ForestParams::paper(8));
+        let fq = FeatureQuantizer::fit(&train, 4);
+        let qf = QuantizedForest::from_forest(&forest_model, &fq);
+        let forest = forest_engine(&qf, ForestStyle::Lookup(LookupConfig::optimized()));
+        let forest_ppa = analyze(&forest, &lib);
+        let mut member_roms = 0usize;
+        let mut member_rom_area = pdk::Area::ZERO;
+        for single in qf.trees() {
+            let m = crate::lookup::lookup_parallel(single, LookupConfig::optimized());
+            member_roms += m.roms.len();
+            member_rom_area += analyze(&m, &lib).rom_area;
+        }
         assert!(
-            forest_gain > single_gain,
-            "forest gain {forest_gain} should exceed single-tree gain {single_gain}"
+            forest.roms.len() < member_roms,
+            "sharing must cut decoder count: {} vs {member_roms}",
+            forest.roms.len()
+        );
+        assert!(
+            forest_ppa.rom_area < member_rom_area,
+            "sharing must cut ROM area: {} vs {member_rom_area}",
+            forest_ppa.rom_area
         );
     }
 }

@@ -55,7 +55,11 @@ impl ComponentCosts {
             b.output("y", &y);
             analyze(&b.finish(), &lib)
         };
-        ComponentCosts { comparator, mac, relu: relu_ppa }
+        ComponentCosts {
+            comparator,
+            mac,
+            relu: relu_ppa,
+        }
     }
 }
 
@@ -102,7 +106,11 @@ pub fn estimate(ops: &OpCount, costs: &ComponentCosts) -> CostEstimate {
     if ops.relus > 0 {
         latency += costs.relu.delay;
     }
-    CostEstimate { area, power, latency }
+    CostEstimate {
+        area,
+        power,
+        latency,
+    }
 }
 
 #[cfg(test)]

@@ -57,7 +57,10 @@ pub fn export_design(
 
     if !vectors.is_empty() {
         let tb_path = format!("{name}_tb.v");
-        std::fs::write(dir.join(&tb_path), to_testbench(module, vectors, cycles_per_vector))?;
+        std::fs::write(
+            dir.join(&tb_path),
+            to_testbench(module, vectors, cycles_per_vector),
+        )?;
         files.push(tb_path);
     }
 
@@ -86,8 +89,8 @@ mod tests {
     use ml::synth::Application;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("printed-ml-export-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("printed-ml-export-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -107,14 +110,17 @@ mod tests {
             })
             .collect();
         let dir = tmpdir("pkg");
-        let manifest =
-            export_design(&dir, &module, Technology::Egt, 1, &vectors).expect("export");
+        let manifest = export_design(&dir, &module, Technology::Egt, 1, &vectors).expect("export");
         assert!(dir.join(format!("{}.v", module.name)).exists());
         assert!(dir.join(format!("{}_tb.v", module.name)).exists());
         assert!(dir.join("report.json").exists());
         assert_eq!(manifest.files.len(), 3);
         assert!(manifest.yield_fraction > 0.9);
-        assert!(manifest.unit_cost_usd < 0.01, "sub-cent: {}", manifest.unit_cost_usd);
+        assert!(
+            manifest.unit_cost_usd < 0.01,
+            "sub-cent: {}",
+            manifest.unit_cost_usd
+        );
         // The JSON round-trips as JSON.
         let body = std::fs::read_to_string(dir.join("report.json")).unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&body).unwrap();

@@ -63,18 +63,32 @@ pub fn serial_svm(svm: &QuantizedSvm) -> (Module, SerialSvmInfo) {
     let cycles = terms.len().max(1);
 
     let max_code: u128 = (1u128 << width) - 1;
-    let max_p: u128 = svm.pos_terms().iter().map(|&(_, m)| m as u128 * max_code).sum();
-    let max_n: u128 = svm.neg_terms().iter().map(|&(_, m)| m as u128 * max_code).sum();
-    let max_b: u128 =
-        svm.boundaries().iter().map(|&v| v.unsigned_abs() as u128).max().unwrap_or(0);
+    let max_p: u128 = svm
+        .pos_terms()
+        .iter()
+        .map(|&(_, m)| m as u128 * max_code)
+        .sum();
+    let max_n: u128 = svm
+        .neg_terms()
+        .iter()
+        .map(|&(_, m)| m as u128 * max_code)
+        .sum();
+    let max_b: u128 = svm
+        .boundaries()
+        .iter()
+        .map(|&v| v.unsigned_abs() as u128)
+        .max()
+        .unwrap_or(0);
     let acc_width = (128 - (max_p.max(max_n + max_b).max(1)).leading_zeros() as usize) + 1;
 
     let mut b = NetlistBuilder::new("serial_svm");
     let mut live: Vec<usize> = terms.iter().map(|&(f, _, _)| f).collect();
     live.sort_unstable();
     live.dedup();
-    let ports: std::collections::HashMap<usize, Vec<Signal>> =
-        live.iter().map(|&f| (f, b.input(format!("x{f}"), width))).collect();
+    let ports: std::collections::HashMap<usize, Vec<Signal>> = live
+        .iter()
+        .map(|&f| (f, b.input(format!("x{f}"), width)))
+        .collect();
 
     // Step counter as a one-hot walking shift register (cheap decode, the
     // same trick as the serial tree's node pointer).
@@ -91,7 +105,12 @@ pub fn serial_svm(svm: &QuantizedSvm) -> (Module, SerialSvmInfo) {
 
     // Coefficient ROM: one word per cycle = [magnitude | sign]; addressed
     // by the binary-encoded step (derived from the one-hot register).
-    let coef_bits = terms.iter().map(|&(_, m, _)| (64 - m.leading_zeros()) as usize).max().unwrap_or(1).max(1);
+    let coef_bits = terms
+        .iter()
+        .map(|&(_, m, _)| (64 - m.leading_zeros()) as usize)
+        .max()
+        .unwrap_or(1)
+        .max(1);
     b.push_region("coefficients");
     // Binary step index from one-hot: OR of the one-hot lines per bit.
     let idx_bits = ceil_log2(cycles.max(2));
@@ -170,15 +189,30 @@ pub fn serial_svm(svm: &QuantizedSvm) -> (Module, SerialSvmInfo) {
         };
         therm.push(t);
     }
-    let class = if therm.is_empty() { b.const_word(0, 1) } else { popcount(&mut b, &therm) };
+    let class = if therm.is_empty() {
+        b.const_word(0, 1)
+    } else {
+        popcount(&mut b, &therm)
+    };
     b.pop_region();
 
     b.output("class", &class);
-    let therm_out = if therm.is_empty() { vec![Signal::ZERO] } else { therm };
+    let therm_out = if therm.is_empty() {
+        vec![Signal::ZERO]
+    } else {
+        therm
+    };
     b.output("therm", &therm_out);
     b.output("done", &[done]);
     let module = optimize(&b.finish());
-    (module, SerialSvmInfo { cycles, width, acc_width })
+    (
+        module,
+        SerialSvmInfo {
+            cycles,
+            width,
+            acc_width,
+        },
+    )
 }
 
 #[cfg(test)]

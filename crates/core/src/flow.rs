@@ -19,8 +19,8 @@ use pdk::{CellLibrary, Technology};
 use crate::analog_arch::{analog_svm_report, analog_tree_report};
 use crate::bespoke::{bespoke_parallel, bespoke_serial, bespoke_svm};
 use crate::bitwidth::{choose_svm_width, choose_tree_width, WidthChoice};
-use crate::conventional::serial_tree::{generate as gen_serial, program, SerialTreeSpec};
 use crate::conventional::parallel_tree::{generate as gen_parallel, ParallelTreeSpec};
+use crate::conventional::serial_tree::{generate as gen_serial, program, SerialTreeSpec};
 use crate::conventional::svm::{generate as gen_conv_svm, SvmSpec};
 use crate::lookup::{lookup_parallel, lookup_svm, LookupConfig};
 use crate::report::{report_from_ppa, DesignReport};
@@ -99,10 +99,20 @@ impl TreeFlow {
         let s = Standardizer::fit(&train);
         let (train, test) = (s.transform(&train), s.transform(&test));
         let tree = DecisionTree::fit(&train, params);
-        let float_accuracy =
-            accuracy(test.x.iter().map(|r| tree.predict(r)), test.y.iter().copied());
+        let float_accuracy = accuracy(
+            test.x.iter().map(|r| tree.predict(r)),
+            test.y.iter().copied(),
+        );
         let (fq, qt, choice) = choose_tree_width(&tree, &train, &test);
-        TreeFlow { app, depth, qt, fq, choice, float_accuracy, test }
+        TreeFlow {
+            app,
+            depth,
+            qt,
+            fq,
+            choice,
+            float_accuracy,
+            test,
+        }
     }
 
     /// Generates the netlist of a digital architecture (`None` for analog).
@@ -115,16 +125,15 @@ impl TreeFlow {
                 // unique features); otherwise price a blank program — a
                 // crossbar ROM costs the same regardless of contents.
                 let qt = self.conventional_qt();
-                let prog = if qt.used_features().len() <= spec.n_features
-                    && qt.depth() <= spec.depth
-                {
-                    program(&qt, &spec)
-                } else {
-                    crate::conventional::serial_tree::SerialTreeProgram {
-                        threshold_rom: vec![0; 1 << (spec.depth + 1)],
-                        class_rom: vec![0; 1 << spec.depth],
-                    }
-                };
+                let prog =
+                    if qt.used_features().len() <= spec.n_features && qt.depth() <= spec.depth {
+                        program(&qt, &spec)
+                    } else {
+                        crate::conventional::serial_tree::SerialTreeProgram {
+                            threshold_rom: vec![0; 1 << (spec.depth + 1)],
+                            class_rom: vec![0; 1 << spec.depth],
+                        }
+                    };
                 Some(gen_serial(&spec, &prog))
             }
             TreeArch::ConventionalParallel => {
@@ -242,10 +251,20 @@ impl SvmFlow {
         let s = Standardizer::fit(&train);
         let (train, test) = (s.transform(&train), s.transform(&test));
         let svm = SvmRegressor::fit(&train, epochs, l2);
-        let float_accuracy =
-            accuracy(test.x.iter().map(|r| svm.predict(r)), test.y.iter().copied());
+        let float_accuracy = accuracy(
+            test.x.iter().map(|r| svm.predict(r)),
+            test.y.iter().copied(),
+        );
         let (fq, qs, choice) = choose_svm_width(&svm, &train, &test);
-        SvmFlow { app, qs, fq, choice, float_accuracy, n_features, test }
+        SvmFlow {
+            app,
+            qs,
+            fq,
+            choice,
+            float_accuracy,
+            n_features,
+            test,
+        }
     }
 
     /// Generates the netlist of a digital architecture (`None` for analog).
@@ -328,7 +347,10 @@ mod tests {
         let conv = flow.report(TreeArch::ConventionalParallel, Technology::Egt);
         let bs = flow.report(TreeArch::BespokeSerial, Technology::Egt);
         let bp = flow.report(TreeArch::BespokeParallel, Technology::Egt);
-        let an = flow.report(TreeArch::Analog(AnalogTreeConfig::default()), Technology::Egt);
+        let an = flow.report(
+            TreeArch::Analog(AnalogTreeConfig::default()),
+            Technology::Egt,
+        );
         assert!(conv.area > bs.area);
         assert!(bs.area > bp.area);
         assert!(bp.area > an.area);
@@ -363,7 +385,10 @@ mod tests {
     #[should_panic(expected = "EGT-only")]
     fn analog_outside_egt_is_rejected() {
         let flow = TreeFlow::new(Application::Har, 2, 7);
-        let _ = flow.report(TreeArch::Analog(AnalogTreeConfig::default()), Technology::Tsmc40);
+        let _ = flow.report(
+            TreeArch::Analog(AnalogTreeConfig::default()),
+            Technology::Tsmc40,
+        );
     }
 }
 
@@ -392,7 +417,11 @@ mod search_tests {
         // SVM regression over HAR's *nominal* activity labels is weak by
         // nature (the paper's HAR strength comes from its ordinal-ish
         // real encoding); the search must still beat chance (1/5).
-        assert!(flow.choice.accuracy > 0.2, "accuracy {}", flow.choice.accuracy);
+        assert!(
+            flow.choice.accuracy > 0.2,
+            "accuracy {}",
+            flow.choice.accuracy
+        );
     }
 }
 
@@ -430,7 +459,14 @@ impl ForestFlow {
             test.x.iter().map(|r| qf.predict(&fq.code_row(r))),
             test.y.iter().copied(),
         );
-        ForestFlow { app, n_trees, qf, fq, accuracy, test }
+        ForestFlow {
+            app,
+            n_trees,
+            qf,
+            fq,
+            accuracy,
+            test,
+        }
     }
 
     /// Generates the ensemble engine netlist.
@@ -475,6 +511,11 @@ mod forest_flow_tests {
         let a2 = f2.report(ForestStyle::Bespoke, Technology::Egt);
         let a8 = f8.report(ForestStyle::Bespoke, Technology::Egt);
         assert!(a8.area > a2.area);
-        assert!(f8.accuracy >= f2.accuracy - 0.02, "{} vs {}", f8.accuracy, f2.accuracy);
+        assert!(
+            f8.accuracy >= f2.accuracy - 0.02,
+            "{} vs {}",
+            f8.accuracy,
+            f2.accuracy
+        );
     }
 }

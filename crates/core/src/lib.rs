@@ -35,25 +35,25 @@
 //! ```
 
 pub mod analog_arch;
-pub mod ensemble;
-pub mod export;
-pub mod extension;
-pub mod estimate;
 pub mod bespoke;
 pub mod bitwidth;
 pub mod conventional;
+pub mod ensemble;
+pub mod estimate;
+pub mod export;
+pub mod extension;
 pub mod flow;
 pub mod lookup;
 pub mod powerfit;
 pub mod report;
 pub mod system;
 
+pub use bitwidth::{choose_svm_width, choose_tree_width, WidthChoice, WIDTHS};
 pub use ensemble::{bespoke_forest, forest_engine, ForestStyle};
+pub use estimate::{estimate, ComponentCosts, CostEstimate};
 pub use export::{export_design, ExportManifest};
 pub use extension::{serial_svm, SerialSvmInfo};
-pub use estimate::{estimate, ComponentCosts, CostEstimate};
-pub use system::{Adc, ClassifierSystem, FeatureExtraction, Sensor};
-pub use bitwidth::{choose_svm_width, choose_tree_width, WidthChoice, WIDTHS};
 pub use flow::{ForestFlow, SvmArch, SvmFlow, TreeArch, TreeFlow};
 pub use lookup::LookupConfig;
 pub use report::{report_from_ppa, DesignReport, Improvement};
+pub use system::{Adc, ClassifierSystem, FeatureExtraction, Sensor};

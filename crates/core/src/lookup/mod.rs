@@ -8,9 +8,10 @@
 //!
 //! Two printing-specific ROM optimizations (§V-A) are modeled exactly:
 //!
-//! 1. **Constant-column elimination** — LUT output bits that are identical
-//!    across every word are deleted from the array and hardwired, letting
-//!    downstream logic fold;
+//! 1. **Redundant-column elimination** — LUT output bits that are identical
+//!    across every word are deleted from the array and hardwired, and
+//!    duplicate columns (two nodes testing the same feature against the
+//!    same quantized threshold) are printed once and fanned out;
 //! 2. **Bespoke dot-resistor arrays** — set bits are printed dots, clear
 //!    bits simply aren't printed and cost nothing.
 
@@ -27,7 +28,8 @@ use pdk::rom::RomStyle;
 /// Knobs of the lookup generators, mirroring Fig. 9/10 and Fig. 12/13.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LookupConfig {
-    /// Apply constant-column elimination.
+    /// Apply redundant-column elimination: constant columns are hardwired
+    /// and duplicate columns share one printed column.
     pub eliminate_constant_columns: bool,
     /// Print the data array as bespoke dots instead of a full crossbar.
     pub bespoke_dots: bool,
@@ -36,12 +38,18 @@ pub struct LookupConfig {
 impl LookupConfig {
     /// Plain lookup replacement (Figs. 9 and 12).
     pub fn baseline() -> Self {
-        LookupConfig { eliminate_constant_columns: false, bespoke_dots: false }
+        LookupConfig {
+            eliminate_constant_columns: false,
+            bespoke_dots: false,
+        }
     }
 
     /// Both printing-specific optimizations on (Figs. 10 and 13).
     pub fn optimized() -> Self {
-        LookupConfig { eliminate_constant_columns: true, bespoke_dots: true }
+        LookupConfig {
+            eliminate_constant_columns: true,
+            bespoke_dots: true,
+        }
     }
 }
 
@@ -55,37 +63,58 @@ pub(crate) fn emit_lut(
     bits: usize,
     config: LookupConfig,
 ) -> Vec<Signal> {
-    let style = if config.bespoke_dots { RomStyle::BespokeDots } else { RomStyle::Crossbar };
+    let style = if config.bespoke_dots {
+        RomStyle::BespokeDots
+    } else {
+        RomStyle::Crossbar
+    };
     if !config.eliminate_constant_columns {
         return b.rom(addr, contents.to_vec(), bits, style);
     }
-    // Find constant columns.
-    let mut constant: Vec<Option<bool>> = Vec::with_capacity(bits);
-    for bit in 0..bits {
-        let first = contents.first().is_some_and(|w| (w >> bit) & 1 == 1);
-        let all_same = contents.iter().all(|w| ((w >> bit) & 1 == 1) == first);
-        constant.push(all_same.then_some(first));
+    // Redundant-column elimination: constant columns become hardwired
+    // rails; duplicate columns are printed once and fanned out.
+    enum Column {
+        Const(bool),
+        Unique(usize),
     }
-    let varying: Vec<usize> =
-        (0..bits).filter(|&bit| constant[bit].is_none()).collect();
-    if varying.is_empty() {
-        return (0..bits).map(|bit| Signal::Const(constant[bit].unwrap())).collect();
-    }
-    // Compact the varying columns into a narrower ROM.
-    let compacted: Vec<u64> = contents
-        .iter()
-        .map(|w| {
-            varying
-                .iter()
-                .enumerate()
-                .fold(0u64, |acc, (j, &bit)| acc | (((w >> bit) & 1) << j))
+    let mut unique: Vec<Vec<bool>> = Vec::new();
+    let columns: Vec<Column> = (0..bits)
+        .map(|bit| {
+            let pattern: Vec<bool> = contents.iter().map(|w| (w >> bit) & 1 == 1).collect();
+            if pattern.iter().all(|&v| v == pattern[0]) {
+                Column::Const(pattern[0])
+            } else if let Some(j) = unique.iter().position(|p| *p == pattern) {
+                Column::Unique(j)
+            } else {
+                unique.push(pattern);
+                Column::Unique(unique.len() - 1)
+            }
         })
         .collect();
-    let outputs = b.rom(addr, compacted, varying.len(), style);
-    (0..bits)
-        .map(|bit| match constant[bit] {
-            Some(v) => Signal::Const(v),
-            None => outputs[varying.iter().position(|&vb| vb == bit).unwrap()],
+    if unique.is_empty() {
+        return columns
+            .iter()
+            .map(|c| match c {
+                Column::Const(v) => Signal::Const(*v),
+                Column::Unique(_) => unreachable!(),
+            })
+            .collect();
+    }
+    // Compact the surviving columns into a narrower ROM.
+    let compacted: Vec<u64> = (0..contents.len())
+        .map(|w| {
+            unique
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (j, p)| acc | ((p[w] as u64) << j))
+        })
+        .collect();
+    let outputs = b.rom(addr, compacted, unique.len(), style);
+    columns
+        .iter()
+        .map(|c| match c {
+            Column::Const(v) => Signal::Const(*v),
+            Column::Unique(j) => outputs[*j],
         })
         .collect()
 }

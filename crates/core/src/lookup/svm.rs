@@ -27,17 +27,36 @@ pub fn lookup_svm(svm: &QuantizedSvm, config: LookupConfig) -> Module {
     let width = svm.bits();
     let words = 1usize << width;
 
-    let mut live: Vec<usize> =
-        svm.pos_terms().iter().chain(svm.neg_terms()).map(|&(f, _)| f).collect();
+    let mut live: Vec<usize> = svm
+        .pos_terms()
+        .iter()
+        .chain(svm.neg_terms())
+        .map(|&(f, _)| f)
+        .collect();
     live.sort_unstable();
     live.dedup();
-    let ports: std::collections::HashMap<usize, Vec<Signal>> =
-        live.iter().map(|&f| (f, b.input(format!("x{f}"), width))).collect();
+    let ports: std::collections::HashMap<usize, Vec<Signal>> = live
+        .iter()
+        .map(|&f| (f, b.input(format!("x{f}"), width)))
+        .collect();
 
     let max_code: u128 = (1u128 << width) - 1;
-    let max_p: u128 = svm.pos_terms().iter().map(|&(_, m)| m as u128 * max_code).sum();
-    let max_n: u128 = svm.neg_terms().iter().map(|&(_, m)| m as u128 * max_code).sum();
-    let max_b: u128 = svm.boundaries().iter().map(|&v| v.unsigned_abs() as u128).max().unwrap_or(0);
+    let max_p: u128 = svm
+        .pos_terms()
+        .iter()
+        .map(|&(_, m)| m as u128 * max_code)
+        .sum();
+    let max_n: u128 = svm
+        .neg_terms()
+        .iter()
+        .map(|&(_, m)| m as u128 * max_code)
+        .sum();
+    let max_b: u128 = svm
+        .boundaries()
+        .iter()
+        .map(|&v| v.unsigned_abs() as u128)
+        .max()
+        .unwrap_or(0);
     let max_val = max_p.max(max_n + max_b).max(1);
     let cmp_width = (128 - max_val.leading_zeros() as usize) + 1;
 
@@ -51,8 +70,7 @@ pub fn lookup_svm(svm: &QuantizedSvm, config: LookupConfig) -> Module {
         if terms.is_empty() {
             return b.const_word(0, cmp_width);
         }
-        let products: Vec<Vec<Signal>> =
-            terms.iter().map(|&(f, m)| product_lut(b, f, m)).collect();
+        let products: Vec<Vec<Signal>> = terms.iter().map(|&(f, m)| product_lut(b, f, m)).collect();
         let mut sum = adder_tree(b, &products);
         sum.resize(cmp_width, Signal::ZERO);
         sum
@@ -80,9 +98,17 @@ pub fn lookup_svm(svm: &QuantizedSvm, config: LookupConfig) -> Module {
         therm.push(t);
     }
 
-    let class = if therm.is_empty() { b.const_word(0, 1) } else { popcount(&mut b, &therm) };
+    let class = if therm.is_empty() {
+        b.const_word(0, 1)
+    } else {
+        popcount(&mut b, &therm)
+    };
     b.output("class", &class);
-    let therm_out = if therm.is_empty() { vec![Signal::ZERO] } else { therm };
+    let therm_out = if therm.is_empty() {
+        vec![Signal::ZERO]
+    } else {
+        therm
+    };
     b.output("therm", &therm_out);
     optimize(&b.finish())
 }
@@ -138,7 +164,10 @@ mod tests {
         let (qs, _, _) = setup(Application::RedWine, 8);
         let besp = analyze(&bespoke_svm(&qs), &lib);
         let lut = analyze(&lookup_svm(&qs, LookupConfig::baseline()), &lib);
-        assert!(lut.area >= besp.area, "baseline lookup should not beat bespoke");
+        assert!(
+            lut.area >= besp.area,
+            "baseline lookup should not beat bespoke"
+        );
     }
 
     #[test]
@@ -160,9 +189,7 @@ mod tests {
         let (qs, _, _) = setup(Application::RedWine, 6);
         let base = lookup_svm(&qs, LookupConfig::baseline());
         let opt = lookup_svm(&qs, LookupConfig::optimized());
-        let bits = |m: &netlist::Module| -> usize {
-            m.roms.iter().map(|r| r.data.len()).sum()
-        };
+        let bits = |m: &netlist::Module| -> usize { m.roms.iter().map(|r| r.data.len()).sum() };
         assert!(bits(&opt) <= bits(&base));
     }
 }

@@ -32,15 +32,21 @@ fn ceil_log2(n: usize) -> usize {
 pub fn lookup_parallel(tree: &QuantizedTree, config: LookupConfig) -> Module {
     let mut b = NetlistBuilder::new("lookup_parallel_tree");
     let used = tree.used_features();
-    let feature_ports: Vec<Vec<Signal>> =
-        used.iter().enumerate().map(|(slot, _)| b.input(format!("f{slot}"), tree.bits())).collect();
+    let feature_ports: Vec<Vec<Signal>> = used
+        .iter()
+        .enumerate()
+        .map(|(slot, _)| b.input(format!("f{slot}"), tree.bits()))
+        .collect();
     let class_bits = ceil_log2(tree.n_classes());
     let words = 1usize << tree.bits();
 
     // Group split nodes by feature: (node index -> column) per feature.
     let mut groups: HashMap<usize, Vec<(usize, u64)>> = HashMap::new();
     for (i, node) in tree.nodes().iter().enumerate() {
-        if let QNode::Split { feature, threshold, .. } = node {
+        if let QNode::Split {
+            feature, threshold, ..
+        } = node
+        {
             groups.entry(*feature).or_default().push((i, *threshold));
         }
     }
@@ -51,16 +57,18 @@ pub fn lookup_parallel(tree: &QuantizedTree, config: LookupConfig) -> Module {
     let mut features_sorted: Vec<(&usize, &Vec<(usize, u64)>)> = groups.iter().collect();
     features_sorted.sort_by_key(|(f, _)| **f);
     for (feature, nodes) in features_sorted {
-        let slot = used.iter().position(|f| f == feature).expect("used feature");
+        let slot = used
+            .iter()
+            .position(|f| f == feature)
+            .expect("used feature");
         // ROM words carry at most 64 columns; chunk very popular features
         // (each chunk still shares one decoder).
         for chunk in nodes.chunks(64) {
             let contents: Vec<u64> = (0..words as u64)
                 .map(|code| {
-                    chunk
-                        .iter()
-                        .enumerate()
-                        .fold(0u64, |acc, (j, &(_, tau))| acc | (((code > tau) as u64) << j))
+                    chunk.iter().enumerate().fold(0u64, |acc, (j, &(_, tau))| {
+                        acc | (((code > tau) as u64) << j)
+                    })
                 })
                 .collect();
             let outs = emit_lut(&mut b, &feature_ports[slot], &contents, chunk.len(), config);
@@ -107,7 +115,11 @@ mod tests {
     use netlist::sim::Simulator;
     use pdk::{CellLibrary, Technology};
 
-    fn setup(app: Application, depth: usize, bits: usize) -> (QuantizedTree, FeatureQuantizer, ml::Dataset) {
+    fn setup(
+        app: Application,
+        depth: usize,
+        bits: usize,
+    ) -> (QuantizedTree, FeatureQuantizer, ml::Dataset) {
         let data = app.generate(7);
         let (train, test) = data.split(0.7, 42);
         let tree = DecisionTree::fit(&train, TreeParams::with_depth(depth));
@@ -151,9 +163,15 @@ mod tests {
         };
         let deep_gain = ratio(&deep);
         let shallow_gain = ratio(&shallow);
-        assert!(deep_gain > shallow_gain, "deep {deep_gain} vs shallow {shallow_gain}");
+        assert!(
+            deep_gain > shallow_gain,
+            "deep {deep_gain} vs shallow {shallow_gain}"
+        );
         assert!(deep_gain > 1.0, "deep trees should win: {deep_gain}");
-        assert!(shallow_gain < 1.0, "shallow trees should lose: {shallow_gain}");
+        assert!(
+            shallow_gain < 1.0,
+            "shallow trees should lose: {shallow_gain}"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub fn summarize(rows: &[PowerFitRow]) -> Vec<(&'static str, usize)> {
     order
         .into_iter()
         .map(|name| {
-            let count = rows.iter().filter(|r| r.feasibility.source_name() == name).count();
+            let count = rows
+                .iter()
+                .filter(|r| r.feasibility.source_name() == name)
+                .count();
             (name, count)
         })
         .collect()
@@ -61,7 +64,10 @@ mod tests {
         let flow = TreeFlow::new(Application::Cardio, 4, 7);
         let conv = flow.report(TreeArch::ConventionalParallel, Technology::Egt);
         let besp = flow.report(TreeArch::BespokeParallel, Technology::Egt);
-        let analog = flow.report(TreeArch::Analog(AnalogTreeConfig::default()), Technology::Egt);
+        let analog = flow.report(
+            TreeArch::Analog(AnalogTreeConfig::default()),
+            Technology::Egt,
+        );
         let rows = assign_sets(&[conv, besp, analog]);
         // Conventional parallel DT-4 exceeds every printed source (Fig. 3).
         assert!(!rows[0].feasibility.is_powerable(), "{:?}", rows[0]);

@@ -65,8 +65,13 @@ impl fmt::Display for DesignReport {
         write!(
             f,
             "{} [{}]: delay {}, area {}, power {}, {} gates, {} cycles",
-            self.name, self.technology, self.latency, self.area, self.power,
-            self.gate_count, self.cycles
+            self.name,
+            self.technology,
+            self.latency,
+            self.area,
+            self.power,
+            self.gate_count,
+            self.cycles
         )
     }
 }
@@ -163,8 +168,16 @@ mod tests {
 
     #[test]
     fn mean_improvement_averages_components() {
-        let a = Improvement { delay: 2.0, area: 10.0, power: 4.0 };
-        let b = Improvement { delay: 4.0, area: 30.0, power: 8.0 };
+        let a = Improvement {
+            delay: 2.0,
+            area: 10.0,
+            power: 4.0,
+        };
+        let b = Improvement {
+            delay: 4.0,
+            area: 30.0,
+            power: 8.0,
+        };
         let m = Improvement::mean(&[a, b]);
         assert_eq!(m.delay, 3.0);
         assert_eq!(m.area, 20.0);
@@ -198,12 +211,16 @@ pub struct DutyCycle {
 impl DutyCycle {
     /// One inference per minute — the smart-packaging cadence.
     pub fn per_minute() -> Self {
-        DutyCycle { samples_per_hour: 60.0 }
+        DutyCycle {
+            samples_per_hour: 60.0,
+        }
     }
 
     /// One inference per hour — wound-dressing cadence.
     pub fn per_hour() -> Self {
-        DutyCycle { samples_per_hour: 1.0 }
+        DutyCycle {
+            samples_per_hour: 1.0,
+        }
     }
 }
 
@@ -211,8 +228,7 @@ impl DesignReport {
     /// Average power draw under a duty cycle: full power during the
     /// inference latency, zero while gated.
     pub fn average_power(&self, duty: DutyCycle) -> Power {
-        let active_fraction =
-            (self.latency.as_secs() * duty.samples_per_hour / 3600.0).min(1.0);
+        let active_fraction = (self.latency.as_secs() * duty.samples_per_hour / 3600.0).min(1.0);
         self.power * active_fraction
     }
 
@@ -224,7 +240,9 @@ impl DesignReport {
         if !battery.can_power(self.power) {
             return None;
         }
-        battery.lifetime_hours(self.average_power(duty)).map(|h| h / 24.0)
+        battery
+            .lifetime_hours(self.average_power(duty))
+            .map(|h| h / 24.0)
     }
 }
 

@@ -34,7 +34,10 @@ impl Sensor {
     /// ~0.5 mm², "< 2 mW" worst case; a passive chemiresistive element
     /// idles far below that.
     pub fn printed_default() -> Self {
-        Sensor { area: Area::from_mm2(0.5), power: Power::from_uw(300.0) }
+        Sensor {
+            area: Area::from_mm2(0.5),
+            power: Power::from_uw(300.0),
+        }
     }
 }
 
@@ -196,7 +199,11 @@ mod tests {
         let flow = TreeFlow::new(Application::Pendigits, 8, 7);
         let conv = flow.report(TreeArch::ConventionalParallel, Technology::Egt);
         let sys = ClassifierSystem::digital(conv, 14, 4, FeatureExtraction::None);
-        assert!(sys.classifier_area_share() > 0.9, "share {}", sys.classifier_area_share());
+        assert!(
+            sys.classifier_area_share() > 0.9,
+            "share {}",
+            sys.classifier_area_share()
+        );
         assert!(!sys.feasibility().is_powerable());
     }
 
@@ -205,9 +212,16 @@ mod tests {
         // The techniques "provide significant system-level benefits": for
         // an analog classifier the sensors dominate.
         let flow = TreeFlow::new(Application::Har, 4, 7);
-        let analog = flow.report(TreeArch::Analog(AnalogTreeConfig::default()), Technology::Egt);
+        let analog = flow.report(
+            TreeArch::Analog(AnalogTreeConfig::default()),
+            Technology::Egt,
+        );
         let sys = ClassifierSystem::analog(analog, 8);
-        assert!(sys.classifier_area_share() < 0.5, "share {}", sys.classifier_area_share());
+        assert!(
+            sys.classifier_area_share() < 0.5,
+            "share {}",
+            sys.classifier_area_share()
+        );
     }
 
     #[test]
@@ -220,7 +234,10 @@ mod tests {
             FeatureExtraction::None,
         );
         let analog = ClassifierSystem::analog(
-            flow.report(TreeArch::Analog(AnalogTreeConfig::default()), Technology::Egt),
+            flow.report(
+                TreeArch::Analog(AnalogTreeConfig::default()),
+                Technology::Egt,
+            ),
             8,
         );
         assert!(analog.power() < digital.power());
@@ -230,7 +247,13 @@ mod tests {
     #[test]
     fn feature_extraction_costs_are_ordered() {
         assert!(FeatureExtraction::None.area().is_zero());
-        assert!(FeatureExtraction::FixedFunction.area() < FeatureExtraction::PrintedMicroprocessor.area());
-        assert!(FeatureExtraction::FixedFunction.power() < FeatureExtraction::PrintedMicroprocessor.power());
+        assert!(
+            FeatureExtraction::FixedFunction.area()
+                < FeatureExtraction::PrintedMicroprocessor.area()
+        );
+        assert!(
+            FeatureExtraction::FixedFunction.power()
+                < FeatureExtraction::PrintedMicroprocessor.power()
+        );
     }
 }

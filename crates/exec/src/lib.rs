@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # exec — deterministic parallel execution substrate
+//!
+//! Every sweep in this workspace (Monte-Carlo variation trials, injected
+//! fault simulations, the 17 `repro_all` experiment regenerators) is a
+//! bag of *independent* tasks. This crate provides the three pieces they
+//! all share, built on `std` alone:
+//!
+//! * [`pool`] — a scoped work-sharing thread pool ([`parallel_map`])
+//!   that preserves output order, plus the process-wide thread-count
+//!   knob (`PRINTED_ML_THREADS`, [`set_threads`], [`with_threads`]);
+//! * [`seed`] — deterministic per-task seed streams split from a root
+//!   seed by task index, so results are bit-identical at any thread
+//!   count;
+//! * [`rng`] — a small, fully reproducible PRNG (SplitMix64) with the
+//!   sampling helpers the ML and analog crates need.
+//!
+//! The invariant the whole workspace leans on: **any computation
+//! expressed as `parallel_map` over per-task [`seed::task_seed`] streams
+//! returns bit-identical results at every thread count.**
+
+pub mod pool;
+pub mod rng;
+pub mod seed;
+
+pub use pool::{parallel_map, set_threads, threads, time, with_threads};
+pub use seed::task_seed;

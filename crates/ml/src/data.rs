@@ -5,8 +5,7 @@
 //! and per-feature standardization to zero mean / unit variance computed on
 //! the training set only.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use exec::rng::{SliceRandom, StdRng};
 
 /// A labelled dataset: dense row-major features and integer class labels.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,7 +32,12 @@ impl Dataset {
         let width = x[0].len();
         assert!(x.iter().all(|r| r.len() == width), "ragged feature rows");
         assert!(y.iter().all(|&l| l < n_classes), "label out of range");
-        Dataset { x, y, n_classes, name: name.into() }
+        Dataset {
+            x,
+            y,
+            n_classes,
+            name: name.into(),
+        }
     }
 
     /// Number of samples.
@@ -54,9 +58,12 @@ impl Dataset {
     /// Shuffles and splits into (train, test) with `train_fraction` of the
     /// samples in train, deterministic in `seed`.
     pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
-        assert!((0.0..1.0).contains(&train_fraction), "fraction must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&train_fraction),
+            "fraction must be in [0,1)"
+        );
         let mut idx: Vec<usize> = (0..self.len()).collect();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
         idx.shuffle(&mut rng);
         let cut = ((self.len() as f64) * train_fraction).round() as usize;
         let take = |ids: &[usize], tag: &str| {
@@ -134,7 +141,9 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 2.0 * i as f64 + 1.0]).collect();
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, 2.0 * i as f64 + 1.0])
+            .collect();
         let y: Vec<usize> = (0..100).map(|i| i % 3).collect();
         Dataset::new("toy", x, y, 3)
     }
@@ -207,10 +216,10 @@ impl Dataset {
     /// `±magnitude` (in units of that feature's training standard
     /// deviation being 1 after standardization), deterministic in `seed`.
     pub fn with_drift(&self, magnitude: f64, seed: u64) -> Dataset {
-        use rand::Rng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let offsets: Vec<f64> =
-            (0..self.n_features()).map(|_| rng.gen_range(-magnitude..=magnitude)).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let offsets: Vec<f64> = (0..self.n_features())
+            .map(|_| rng.gen_range(-magnitude..=magnitude))
+            .collect();
         let mut out = self.clone();
         for row in &mut out.x {
             for (v, o) in row.iter_mut().zip(&offsets) {
@@ -277,7 +286,6 @@ impl Dataset {
 
 #[cfg(test)]
 mod distribution_tests {
-    use super::*;
     use crate::synth::Application;
 
     #[test]

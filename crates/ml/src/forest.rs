@@ -6,8 +6,7 @@
 //! optimization composes — which is why the detailed hardware study uses
 //! single trees.
 
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use exec::rng::{SliceRandom, StdRng};
 
 use crate::data::Dataset;
 use crate::tree::{DecisionTree, TreeParams};
@@ -26,7 +25,11 @@ pub struct ForestParams {
 impl ForestParams {
     /// Paper configuration RF-`n`: `n` trees of depth ≤ 8.
     pub fn paper(n_trees: usize) -> Self {
-        ForestParams { n_trees, tree: TreeParams::with_depth(8), seed: 7 }
+        ForestParams {
+            n_trees,
+            tree: TreeParams::with_depth(8),
+            seed: 7,
+        }
     }
 }
 
@@ -55,7 +58,10 @@ impl RandomForest {
                 DecisionTree::fit_subset(data, &sample, params.tree, Some(&features))
             })
             .collect();
-        RandomForest { trees, n_classes: data.n_classes }
+        RandomForest {
+            trees,
+            n_classes: data.n_classes,
+        }
     }
 
     /// Majority-vote prediction (ties break toward the lower class index).
@@ -94,9 +100,22 @@ mod tests {
         let data = Application::Pendigits.generate(7);
         let (train, test) = data.split(0.7, 42);
         let tree = DecisionTree::fit(&train, TreeParams::with_depth(4));
-        let forest = RandomForest::fit(&train, ForestParams { n_trees: 8, tree: TreeParams::with_depth(8), seed: 7 });
-        let ta = accuracy(test.x.iter().map(|r| tree.predict(r)), test.y.iter().copied());
-        let fa = accuracy(test.x.iter().map(|r| forest.predict(r)), test.y.iter().copied());
+        let forest = RandomForest::fit(
+            &train,
+            ForestParams {
+                n_trees: 8,
+                tree: TreeParams::with_depth(8),
+                seed: 7,
+            },
+        );
+        let ta = accuracy(
+            test.x.iter().map(|r| tree.predict(r)),
+            test.y.iter().copied(),
+        );
+        let fa = accuracy(
+            test.x.iter().map(|r| forest.predict(r)),
+            test.y.iter().copied(),
+        );
         assert!(fa >= ta - 0.02, "forest {fa} vs tree {ta}");
     }
 

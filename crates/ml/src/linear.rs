@@ -7,8 +7,7 @@
 //! appear only in the Table II algorithm comparison, where their MAC counts
 //! disqualify them for printed implementation.
 
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use exec::rng::{SliceRandom, StdRng};
 
 use crate::data::Dataset;
 
@@ -47,12 +46,21 @@ impl SvmRegressor {
             }
             b -= lr * gb / n;
         }
-        SvmRegressor { weights: w, bias: b, n_classes: data.n_classes }
+        SvmRegressor {
+            weights: w,
+            bias: b,
+            n_classes: data.n_classes,
+        }
     }
 
     /// The raw regression output `w·x + b`.
     pub fn decision(&self, row: &[f64]) -> f64 {
-        self.weights.iter().zip(row).map(|(w, x)| w * x).sum::<f64>() + self.bias
+        self.weights
+            .iter()
+            .zip(row)
+            .map(|(w, x)| w * x)
+            .sum::<f64>()
+            + self.bias
     }
 
     /// Nearest-label prediction (clamped to the class range).
@@ -103,7 +111,10 @@ impl SvmClassifier {
                 machines.push((a, b, w, bias));
             }
         }
-        SvmClassifier { machines, n_classes: data.n_classes }
+        SvmClassifier {
+            machines,
+            n_classes: data.n_classes,
+        }
     }
 
     /// Majority vote across all pairwise machines.
@@ -113,7 +124,12 @@ impl SvmClassifier {
             let score: f64 = w.iter().zip(row).map(|(wi, xi)| wi * xi).sum::<f64>() + bias;
             votes[if score >= 0.0 { *a } else { *b }] += 1;
         }
-        votes.iter().enumerate().max_by_key(|(_, &v)| v).map(|(i, _)| i).unwrap_or(0)
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
     }
 
     /// Number of pairwise machines — Table II's `#C` for SVM-C.
@@ -144,10 +160,18 @@ fn pegasos(
     for _ in 0..epochs {
         order.shuffle(rng);
         for &i in &order {
-            let label = if data.y[i] == positive_class { 1.0 } else { -1.0 };
+            let label = if data.y[i] == positive_class {
+                1.0
+            } else {
+                -1.0
+            };
             let eta = 1.0 / (lambda * t as f64);
-            let margin: f64 =
-                label * (w.iter().zip(&data.x[i]).map(|(wi, xi)| wi * xi).sum::<f64>() + bias);
+            let margin: f64 = label
+                * (w.iter()
+                    .zip(&data.x[i])
+                    .map(|(wi, xi)| wi * xi)
+                    .sum::<f64>()
+                    + bias);
             for wi in w.iter_mut() {
                 *wi *= 1.0 - eta * lambda;
             }
@@ -199,7 +223,10 @@ impl LogisticRegression {
                 b[c] -= lr * gb[c] / n;
             }
         }
-        LogisticRegression { weights: w, biases: b }
+        LogisticRegression {
+            weights: w,
+            biases: b,
+        }
     }
 
     /// Argmax class prediction.
@@ -267,7 +294,10 @@ mod tests {
         let (train, test) = prepared(Application::Pendigits);
         let m = SvmRegressor::fit(&train, 300, 1e-4);
         let acc = accuracy(test.x.iter().map(|r| m.predict(r)), test.y.iter().copied());
-        assert!(acc < 0.5, "SVM-R pendigits accuracy {acc} unexpectedly high");
+        assert!(
+            acc < 0.5,
+            "SVM-R pendigits accuracy {acc} unexpectedly high"
+        );
     }
 
     #[test]

@@ -18,7 +18,9 @@ pub fn accuracy(
     let mut total = 0usize;
     let mut t = truth;
     for p in predictions {
-        let Some(actual) = t.next() else { panic!("more predictions than labels") };
+        let Some(actual) = t.next() else {
+            panic!("more predictions than labels")
+        };
         correct += (p == actual) as usize;
         total += 1;
     }
@@ -46,8 +48,14 @@ mod tests {
 
     #[test]
     fn perfect_and_zero_accuracy() {
-        assert_eq!(accuracy([1usize, 2].into_iter(), [1usize, 2].into_iter()), 1.0);
-        assert_eq!(accuracy([0usize, 0].into_iter(), [1usize, 2].into_iter()), 0.0);
+        assert_eq!(
+            accuracy([1usize, 2].into_iter(), [1usize, 2].into_iter()),
+            1.0
+        );
+        assert_eq!(
+            accuracy([0usize, 0].into_iter(), [1usize, 2].into_iter()),
+            0.0
+        );
     }
 
     #[test]
@@ -85,14 +93,27 @@ pub fn class_reports(matrix: &[Vec<usize>]) -> Vec<ClassReport> {
             let tp = matrix[c][c];
             let predicted: usize = (0..k).map(|t| matrix[t][c]).sum();
             let actual: usize = matrix[c].iter().sum();
-            let precision = if predicted == 0 { 1.0 } else { tp as f64 / predicted as f64 };
-            let recall = if actual == 0 { 1.0 } else { tp as f64 / actual as f64 };
+            let precision = if predicted == 0 {
+                1.0
+            } else {
+                tp as f64 / predicted as f64
+            };
+            let recall = if actual == 0 {
+                1.0
+            } else {
+                tp as f64 / actual as f64
+            };
             let f1 = if precision + recall == 0.0 {
                 0.0
             } else {
                 2.0 * precision * recall / (precision + recall)
             };
-            ClassReport { class: c, precision, recall, f1 }
+            ClassReport {
+                class: c,
+                precision,
+                recall,
+                f1,
+            }
         })
         .collect()
 }

@@ -5,8 +5,7 @@
 //! participate in the §III algorithm comparison: their MAC counts make them
 //! prohibitively expensive in printed technologies.
 
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use exec::rng::{SliceRandom, StdRng};
 
 use crate::data::Dataset;
 
@@ -60,12 +59,22 @@ pub struct MlpParams {
 impl MlpParams {
     /// Paper configuration MLP-1: one hidden layer of up to 5 nodes.
     pub fn mlp1() -> Self {
-        MlpParams { hidden: vec![5], epochs: 60, lr: 0.05, seed: 7 }
+        MlpParams {
+            hidden: vec![5],
+            epochs: 60,
+            lr: 0.05,
+            seed: 7,
+        }
     }
 
     /// Paper configuration MLP-3: three hidden layers of up to 5 nodes.
     pub fn mlp3() -> Self {
-        MlpParams { hidden: vec![5, 5, 5], epochs: 80, lr: 0.05, seed: 7 }
+        MlpParams {
+            hidden: vec![5, 5, 5],
+            epochs: 80,
+            lr: 0.05,
+            seed: 7,
+        }
     }
 }
 
@@ -76,16 +85,20 @@ impl Mlp {
         let mut dims = vec![data.n_features()];
         dims.extend(&params.hidden);
         dims.push(data.n_classes);
-        let mut layers: Vec<Layer> =
-            dims.windows(2).map(|w| Layer::new(w[0], w[1], &mut rng)).collect();
+        let mut layers: Vec<Layer> = dims
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
 
         let mut order: Vec<usize> = (0..data.len()).collect();
         for _ in 0..params.epochs {
             order.shuffle(&mut rng);
             for batch in order.chunks(16) {
                 // Accumulate gradients over the batch.
-                let mut gw: Vec<Vec<Vec<f64>>> =
-                    layers.iter().map(|l| vec![vec![0.0; l.w[0].len()]; l.w.len()]).collect();
+                let mut gw: Vec<Vec<Vec<f64>>> = layers
+                    .iter()
+                    .map(|l| vec![vec![0.0; l.w[0].len()]; l.w.len()])
+                    .collect();
                 let mut gb: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
                 for &i in batch {
                     backprop(&layers, &data.x[i], data.y[i], &mut gw, &mut gb);
@@ -131,7 +144,10 @@ impl Mlp {
 
     /// Total ReLU evaluations per inference.
     pub fn relu_count(&self) -> usize {
-        self.layers[..self.layers.len() - 1].iter().map(|l| l.b.len()).sum()
+        self.layers[..self.layers.len() - 1]
+            .iter()
+            .map(|l| l.b.len())
+            .sum()
     }
 }
 
@@ -158,8 +174,11 @@ fn backprop(
     let m = out.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let exps: Vec<f64> = out.iter().map(|v| (v - m).exp()).collect();
     let z: f64 = exps.iter().sum();
-    let mut delta: Vec<f64> =
-        exps.iter().enumerate().map(|(c, e)| e / z - (c == label) as usize as f64).collect();
+    let mut delta: Vec<f64> = exps
+        .iter()
+        .enumerate()
+        .map(|(c, e)| e / z - (c == label) as usize as f64)
+        .collect();
     // Backward.
     for li in (0..layers.len()).rev() {
         let input = &acts[li];
@@ -209,11 +228,23 @@ mod tests {
     #[test]
     fn mac_counts_match_architecture() {
         let data = Application::Har.generate(7); // 12 features, 5 classes
-        let m1 = Mlp::fit(&data, &MlpParams { epochs: 1, ..MlpParams::mlp1() });
+        let m1 = Mlp::fit(
+            &data,
+            &MlpParams {
+                epochs: 1,
+                ..MlpParams::mlp1()
+            },
+        );
         // 12*5 + 5*5 = 85, exactly the paper's HAR MLP-1 entry.
         assert_eq!(m1.mac_count(), 85);
         assert_eq!(m1.relu_count(), 5);
-        let m3 = Mlp::fit(&data, &MlpParams { epochs: 1, ..MlpParams::mlp3() });
+        let m3 = Mlp::fit(
+            &data,
+            &MlpParams {
+                epochs: 1,
+                ..MlpParams::mlp3()
+            },
+        );
         // 12*5 + 5*5 + 5*5 + 5*5 = 135.
         assert_eq!(m3.mac_count(), 135);
         assert_eq!(m3.relu_count(), 15);
@@ -222,15 +253,33 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let data = Application::Cardio.generate(7);
-        let a = Mlp::fit(&data, &MlpParams { epochs: 2, ..MlpParams::mlp1() });
-        let b = Mlp::fit(&data, &MlpParams { epochs: 2, ..MlpParams::mlp1() });
+        let a = Mlp::fit(
+            &data,
+            &MlpParams {
+                epochs: 2,
+                ..MlpParams::mlp1()
+            },
+        );
+        let b = Mlp::fit(
+            &data,
+            &MlpParams {
+                epochs: 2,
+                ..MlpParams::mlp1()
+            },
+        );
         assert_eq!(a, b);
     }
 
     #[test]
     fn predictions_are_valid_classes() {
         let data = Application::Pendigits.generate(7);
-        let m = Mlp::fit(&data, &MlpParams { epochs: 1, ..MlpParams::mlp1() });
+        let m = Mlp::fit(
+            &data,
+            &MlpParams {
+                epochs: 1,
+                ..MlpParams::mlp1()
+            },
+        );
         for row in data.x.iter().take(20) {
             assert!(m.predict(row) < data.n_classes);
         }

@@ -30,13 +30,19 @@ pub trait CountOps {
 
 impl CountOps for DecisionTree {
     fn op_count(&self) -> OpCount {
-        OpCount { comparisons: self.comparison_count(), ..Default::default() }
+        OpCount {
+            comparisons: self.comparison_count(),
+            ..Default::default()
+        }
     }
 }
 
 impl CountOps for RandomForest {
     fn op_count(&self) -> OpCount {
-        OpCount { comparisons: self.comparison_count(), ..Default::default() }
+        OpCount {
+            comparisons: self.comparison_count(),
+            ..Default::default()
+        }
     }
 }
 
@@ -75,7 +81,11 @@ impl CountOps for LogisticRegression {
 
 impl CountOps for Mlp {
     fn op_count(&self) -> OpCount {
-        OpCount { macs: self.mac_count(), relus: self.relu_count(), ..Default::default() }
+        OpCount {
+            macs: self.mac_count(),
+            relus: self.relu_count(),
+            ..Default::default()
+        }
     }
 }
 

@@ -76,7 +76,10 @@ impl FeatureQuantizer {
 
     /// Quantizes a full row.
     pub fn code_row(&self, row: &[f64]) -> Vec<u64> {
-        row.iter().enumerate().map(|(f, &v)| self.code(f, v)).collect()
+        row.iter()
+            .enumerate()
+            .map(|(f, &v)| self.code(f, v))
+            .collect()
     }
 
     /// Integer threshold such that `x <= thr ⟺ code(x) <= code_thr`
@@ -140,7 +143,12 @@ impl QuantizedTree {
             .iter()
             .map(|n| match n {
                 TreeNode::Leaf { class } => QNode::Leaf { class: *class },
-                TreeNode::Split { feature, threshold, left, right } => QNode::Split {
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => QNode::Split {
                     feature: *feature,
                     threshold: fq.threshold_code(*feature, *threshold),
                     left: *left,
@@ -148,7 +156,11 @@ impl QuantizedTree {
                 },
             })
             .collect();
-        QuantizedTree { nodes, n_classes: tree.n_classes(), bits: fq.bits() }
+        QuantizedTree {
+            nodes,
+            n_classes: tree.n_classes(),
+            bits: fq.bits(),
+        }
     }
 
     /// Predicts from quantized feature codes.
@@ -157,8 +169,17 @@ impl QuantizedTree {
         loop {
             match &self.nodes[i] {
                 QNode::Leaf { class } => return *class,
-                QNode::Split { feature, threshold, left, right } => {
-                    i = if codes[*feature] <= *threshold { *left } else { *right };
+                QNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if codes[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -181,7 +202,10 @@ impl QuantizedTree {
 
     /// Internal-node count.
     pub fn comparison_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, QNode::Split { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, QNode::Split { .. }))
+            .count()
     }
 
     /// Tree depth.
@@ -220,7 +244,12 @@ impl QuantizedTree {
         while let Some((node, pos, depth)) = stack.pop() {
             match &self.nodes[node] {
                 QNode::Leaf { class } => leaves.push((pos, depth, *class)),
-                QNode::Split { feature, threshold, left, right } => {
+                QNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     splits.push((pos, *feature, *threshold));
                     stack.push((*left, pos * 2, depth + 1));
                     stack.push((*right, pos * 2 + 1, depth + 1));
@@ -260,8 +289,12 @@ impl QuantizedSvm {
         let bits = fq.bits();
         // Fold the affine feature mapping into the coefficients:
         // w·x = Σ w_i (min_i + step_i · code_i).
-        let g: Vec<f64> =
-            svm.weights().iter().enumerate().map(|(f, w)| w * fq.step_of(f)).collect();
+        let g: Vec<f64> = svm
+            .weights()
+            .iter()
+            .enumerate()
+            .map(|(f, w)| w * fq.step_of(f))
+            .collect();
         let c0: f64 = svm
             .weights()
             .iter()
@@ -289,7 +322,13 @@ impl QuantizedSvm {
         let boundaries = (0..svm.n_classes() - 1)
             .map(|c| (((c as f64 + 0.5) - c0) / scale).round() as i64)
             .collect();
-        QuantizedSvm { pos_terms, neg_terms, boundaries, n_classes: svm.n_classes(), bits }
+        QuantizedSvm {
+            pos_terms,
+            neg_terms,
+            boundaries,
+            n_classes: svm.n_classes(),
+            bits,
+        }
     }
 
     /// Predicts from quantized feature codes, exactly as the hardware does:
@@ -386,13 +425,18 @@ mod tests {
         let tree = DecisionTree::fit(&train, TreeParams::with_depth(4));
         let fq = FeatureQuantizer::fit(&train, 8);
         let qt = QuantizedTree::from_tree(&tree, &fq);
-        let float_acc =
-            accuracy(test.x.iter().map(|r| tree.predict(r)), test.y.iter().copied());
+        let float_acc = accuracy(
+            test.x.iter().map(|r| tree.predict(r)),
+            test.y.iter().copied(),
+        );
         let q_acc = accuracy(
             test.x.iter().map(|r| qt.predict(&fq.code_row(r))),
             test.y.iter().copied(),
         );
-        assert!((float_acc - q_acc).abs() < 0.05, "float {float_acc} vs quant {q_acc}");
+        assert!(
+            (float_acc - q_acc).abs() < 0.05,
+            "float {float_acc} vs quant {q_acc}"
+        );
         assert_eq!(qt.comparison_count(), tree.comparison_count());
         assert_eq!(qt.depth(), tree.depth());
     }
@@ -419,13 +463,18 @@ mod tests {
         let svm = crate::linear::SvmRegressor::fit(&train, 300, 1e-4);
         let fq = FeatureQuantizer::fit(&train, 8);
         let qs = QuantizedSvm::from_svm(&svm, &fq);
-        let float_acc =
-            accuracy(test.x.iter().map(|r| svm.predict(r)), test.y.iter().copied());
+        let float_acc = accuracy(
+            test.x.iter().map(|r| svm.predict(r)),
+            test.y.iter().copied(),
+        );
         let q_acc = accuracy(
             test.x.iter().map(|r| qs.predict(&fq.code_row(r))),
             test.y.iter().copied(),
         );
-        assert!((float_acc - q_acc).abs() < 0.08, "float {float_acc} vs quant {q_acc}");
+        assert!(
+            (float_acc - q_acc).abs() < 0.08,
+            "float {float_acc} vs quant {q_acc}"
+        );
     }
 
     #[test]
@@ -475,10 +524,17 @@ pub struct QuantizedForest {
 impl QuantizedForest {
     /// Quantizes every member tree of a trained forest through `fq`.
     pub fn from_forest(forest: &crate::forest::RandomForest, fq: &FeatureQuantizer) -> Self {
-        let trees: Vec<QuantizedTree> =
-            forest.trees().iter().map(|t| QuantizedTree::from_tree(t, fq)).collect();
+        let trees: Vec<QuantizedTree> = forest
+            .trees()
+            .iter()
+            .map(|t| QuantizedTree::from_tree(t, fq))
+            .collect();
         let n_classes = trees.first().map_or(1, |t| t.n_classes());
-        QuantizedForest { trees, n_classes, bits: fq.bits() }
+        QuantizedForest {
+            trees,
+            n_classes,
+            bits: fq.bits(),
+        }
     }
 
     /// Majority-vote prediction from quantized feature codes.
@@ -542,7 +598,10 @@ mod forest_tests {
         assert_eq!(qf.n_classes(), 3);
         assert_eq!(
             qf.comparison_count(),
-            qf.trees().iter().map(|t| t.comparison_count()).sum::<usize>()
+            qf.trees()
+                .iter()
+                .map(|t| t.comparison_count())
+                .sum::<usize>()
         );
         // Votes are consistent with per-tree predictions.
         for row in test.x.iter().take(40) {

@@ -4,8 +4,7 @@
 //! §III: sample hyper-parameter candidates, score each by k-fold CV
 //! accuracy on the training set, keep the best.
 
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use exec::rng::{SliceRandom, StdRng};
 
 use crate::data::Dataset;
 use crate::linear::SvmRegressor;
@@ -25,8 +24,7 @@ pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
     idx.shuffle(&mut rng);
     (0..k)
         .map(|fold| {
-            let val: Vec<usize> =
-                idx.iter().copied().skip(fold).step_by(k).collect();
+            let val: Vec<usize> = idx.iter().copied().skip(fold).step_by(k).collect();
             let train: Vec<usize> = idx
                 .iter()
                 .copied()
@@ -86,12 +84,7 @@ pub fn search_tree_params(
 /// Randomized search over SVM-R regularization and epochs.
 ///
 /// Returns `(epochs, l2)` with the best mean CV accuracy.
-pub fn search_svm_params(
-    data: &Dataset,
-    iters: usize,
-    folds: usize,
-    seed: u64,
-) -> (usize, f64) {
+pub fn search_svm_params(data: &Dataset, iters: usize, folds: usize, seed: u64) -> (usize, f64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let splits = kfold(data.len(), folds, seed);
     let mut best = (f64::NEG_INFINITY, (200usize, 1e-4));

@@ -48,14 +48,21 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 4, min_samples_split: 2, max_thresholds: 32 }
+        TreeParams {
+            max_depth: 4,
+            min_samples_split: 2,
+            max_thresholds: 32,
+        }
     }
 }
 
 impl TreeParams {
     /// Parameters for a depth-`d` tree with the paper's defaults elsewhere.
     pub fn with_depth(d: usize) -> Self {
-        TreeParams { max_depth: d, ..Default::default() }
+        TreeParams {
+            max_depth: d,
+            ..Default::default()
+        }
     }
 }
 
@@ -74,7 +81,11 @@ impl DecisionTree {
         let indices: Vec<usize> = (0..data.len()).collect();
         let mut nodes = Vec::new();
         build(data, &indices, params.max_depth, &params, &mut nodes, None);
-        DecisionTree { nodes, n_classes: data.n_classes, n_features: data.n_features() }
+        DecisionTree {
+            nodes,
+            n_classes: data.n_classes,
+            n_features: data.n_features(),
+        }
     }
 
     /// Fits on a subset of samples, optionally restricting candidate
@@ -86,8 +97,19 @@ impl DecisionTree {
         feature_subset: Option<&[usize]>,
     ) -> Self {
         let mut nodes = Vec::new();
-        build(data, sample_indices, params.max_depth, &params, &mut nodes, feature_subset);
-        DecisionTree { nodes, n_classes: data.n_classes, n_features: data.n_features() }
+        build(
+            data,
+            sample_indices,
+            params.max_depth,
+            &params,
+            &mut nodes,
+            feature_subset,
+        );
+        DecisionTree {
+            nodes,
+            n_classes: data.n_classes,
+            n_features: data.n_features(),
+        }
     }
 
     /// Predicts the class of one row.
@@ -96,8 +118,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[i] {
                 TreeNode::Leaf { class } => return *class,
-                TreeNode::Split { feature, threshold, left, right } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -120,7 +151,10 @@ impl DecisionTree {
 
     /// Number of internal (comparison) nodes — Table II's `#C` for trees.
     pub fn comparison_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, TreeNode::Split { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, TreeNode::Split { .. }))
+            .count()
     }
 
     /// Depth of the tree (0 for a single leaf).
@@ -163,7 +197,12 @@ impl DecisionTree {
         while let Some((node, pos, depth)) = stack.pop() {
             match &self.nodes[node] {
                 TreeNode::Leaf { class } => leaves.push((pos, depth, *class)),
-                TreeNode::Split { feature, threshold, left, right } => {
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     splits.push((pos, *feature, *threshold));
                     // Paper convention: comparison result shifts into the
                     // LSB; we use bit 0 = "went right" (condition false).
@@ -214,7 +253,9 @@ fn build(
         || node_gini == 0.0
         || indices.is_empty();
     if make_leaf {
-        nodes.push(TreeNode::Leaf { class: majority(&counts) });
+        nodes.push(TreeNode::Leaf {
+            class: majority(&counts),
+        });
         return nodes.len() - 1;
     }
 
@@ -241,8 +282,7 @@ fn build(
         if ln == 0 || rn == 0 {
             return None;
         }
-        let score =
-            (ln as f64 * gini(&lc, ln) + rn as f64 * gini(&rc, rn)) / indices.len() as f64;
+        let score = (ln as f64 * gini(&lc, ln) + rn as f64 * gini(&rc, rn)) / indices.len() as f64;
         // Tie-break toward balanced partitions: when several cuts achieve
         // the same impurity (e.g. every depth-1 cut of XOR data), a balanced
         // split gives the children the most room to improve.
@@ -291,18 +331,26 @@ fn build(
     // zero immediate gain (a zero-gain split can enable a perfect split one
     // level down — XOR being the canonical case).
     let Some((_, feature, threshold, _, _)) = best else {
-        nodes.push(TreeNode::Leaf { class: majority(&counts) });
+        nodes.push(TreeNode::Leaf {
+            class: majority(&counts),
+        });
         return nodes.len() - 1;
     };
     let _ = node_gini;
 
-    let (li, ri): (Vec<usize>, Vec<usize>) =
-        indices.iter().partition(|&&i| data.x[i][feature] <= threshold);
+    let (li, ri): (Vec<usize>, Vec<usize>) = indices
+        .iter()
+        .partition(|&&i| data.x[i][feature] <= threshold);
     let me = nodes.len();
     nodes.push(TreeNode::Leaf { class: 0 }); // placeholder
     let left = build(data, &li, depth_left - 1, params, nodes, feature_subset);
     let right = build(data, &ri, depth_left - 1, params, nodes, feature_subset);
-    nodes[me] = TreeNode::Split { feature, threshold, left, right };
+    nodes[me] = TreeNode::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
     me
 }
 
@@ -332,9 +380,8 @@ mod tests {
         let d = xor_dataset();
         let t1 = DecisionTree::fit(&d, TreeParams::with_depth(1));
         let t2 = DecisionTree::fit(&d, TreeParams::with_depth(2));
-        let acc = |t: &DecisionTree| {
-            accuracy(d.x.iter().map(|r| t.predict(r)), d.y.iter().copied())
-        };
+        let acc =
+            |t: &DecisionTree| accuracy(d.x.iter().map(|r| t.predict(r)), d.y.iter().copied());
         assert!(acc(&t1) < 0.8);
         assert!(acc(&t2) > 0.95, "depth-2 accuracy {}", acc(&t2));
         assert!(t2.depth() <= 2);
@@ -353,7 +400,11 @@ mod tests {
         let d = Application::Pendigits.generate(7);
         for depth in [1, 2, 4, 8] {
             let t = DecisionTree::fit(&d, TreeParams::with_depth(depth));
-            assert!(t.depth() <= depth, "depth {} > requested {depth}", t.depth());
+            assert!(
+                t.depth() <= depth,
+                "depth {} > requested {depth}",
+                t.depth()
+            );
             assert!(t.comparison_count() < (1 << depth));
         }
     }
@@ -398,7 +449,10 @@ mod tests {
         for (lp, _, _) in &leaves {
             let mut p = lp / 2;
             while p >= 1 {
-                assert!(splits.iter().any(|(sp, _, _)| *sp == p), "ancestor {p} of {lp}");
+                assert!(
+                    splits.iter().any(|(sp, _, _)| *sp == p),
+                    "ancestor {p} of {lp}"
+                );
                 p /= 2;
             }
         }
@@ -414,8 +468,17 @@ mod tests {
         let manual = loop {
             match &t.nodes()[i] {
                 TreeNode::Leaf { class } => break *class,
-                TreeNode::Split { feature, threshold, left, right } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         };
@@ -434,7 +497,12 @@ impl DecisionTree {
                 TreeNode::Leaf { class } => {
                     let _ = writeln!(out, "  n{i} [label=\"class {class}\"];");
                 }
-                TreeNode::Split { feature, threshold, left, right } => {
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     let _ = writeln!(
                         out,
                         "  n{i} [shape=box, label=\"x{feature} <= {threshold:.4}\"];"
@@ -462,10 +530,7 @@ mod dot_tests {
         assert!(dot.starts_with("digraph tree {"));
         assert!(dot.trim_end().ends_with('}'));
         // One node line per tree node, one edge pair per split.
-        assert_eq!(
-            dot.matches("shape=box").count(),
-            tree.comparison_count()
-        );
+        assert_eq!(dot.matches("shape=box").count(), tree.comparison_count());
         assert_eq!(dot.matches("-> ").count(), tree.comparison_count() * 2);
         assert!(dot.contains("class "));
     }

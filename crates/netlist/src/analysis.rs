@@ -156,7 +156,9 @@ fn critical_path(module: &Module, lib: &CellLibrary, rom_delays: &[Delay]) -> De
         lib: &CellLibrary,
         rom_delays: &[Delay],
     ) -> Delay {
-        let Signal::Net(root) = sig else { return Delay::ZERO };
+        let Signal::Net(root) = sig else {
+            return Delay::ZERO;
+        };
         if let Some(d) = arrival.get(&root) {
             return *d;
         }
@@ -326,8 +328,14 @@ mod tests {
         };
         let area_ratio = mac.area.ratio(cmp.area);
         let power_ratio = mac.power.ratio(cmp.power);
-        assert!(area_ratio > 4.0 && area_ratio < 15.0, "area ratio {area_ratio}");
-        assert!(power_ratio > 4.0 && power_ratio < 15.0, "power ratio {power_ratio}");
+        assert!(
+            area_ratio > 4.0 && area_ratio < 15.0,
+            "area ratio {area_ratio}"
+        );
+        assert!(
+            power_ratio > 4.0 && power_ratio < 15.0,
+            "power ratio {power_ratio}"
+        );
         assert!(mac.delay > cmp.delay);
     }
 
@@ -335,7 +343,12 @@ mod tests {
     fn rom_costs_are_separated_from_logic() {
         let mut b = NetlistBuilder::new("t");
         let addr = b.input("a", 3);
-        let data = b.rom(&addr, vec![1, 2, 3, 4, 5, 6, 7, 0], 4, pdk::RomStyle::Crossbar);
+        let data = b.rom(
+            &addr,
+            vec![1, 2, 3, 4, 5, 6, 7, 0],
+            4,
+            pdk::RomStyle::Crossbar,
+        );
         b.output("d", &data);
         let m = b.finish();
         let ppa = analyze(&m, &egt());

@@ -63,7 +63,10 @@ pub fn sub(b: &mut NetlistBuilder, a: &[Signal], bb: &[Signal]) -> (Vec<Signal>,
 /// Classic AND-plane plus ripple reduction rows — the structure behind the
 /// paper's "an EGT MAC requires 7.5× more area … than a comparison".
 pub fn multiply(b: &mut NetlistBuilder, a: &[Signal], bb: &[Signal]) -> Vec<Signal> {
-    assert!(!a.is_empty() && !bb.is_empty(), "multiplier over empty words");
+    assert!(
+        !a.is_empty() && !bb.is_empty(),
+        "multiplier over empty words"
+    );
     // Partial products row by row, accumulated with ripple adders.
     let mut acc: Vec<Signal> = a.iter().map(|&ai| b.and(ai, bb[0])).collect();
     let mut out = Vec::with_capacity(a.len() + bb.len());

@@ -47,8 +47,13 @@ impl<'m> BatchSimulator<'m> {
     /// # Panics
     /// Panics if the module is sequential or invalid.
     pub fn new(module: &'m Module) -> Self {
-        assert!(module.is_combinational(), "batch simulation is combinational-only");
-        module.validate().expect("batch-simulating an invalid module");
+        assert!(
+            module.is_combinational(),
+            "batch simulation is combinational-only"
+        );
+        module
+            .validate()
+            .expect("batch-simulating an invalid module");
         // Reuse the scalar simulator's proven levelization by doing a
         // simple Kahn ordering over gates and ROMs.
         let mut driver: HashMap<NetId, usize> = HashMap::new(); // net -> gate idx

@@ -41,7 +41,10 @@ pub struct NetlistBuilder {
 impl NetlistBuilder {
     /// Starts a new module named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        NetlistBuilder { module: Module::new(name), region_stack: vec![0] }
+        NetlistBuilder {
+            module: Module::new(name),
+            region_stack: vec![0],
+        }
     }
 
     /// Enters a named hierarchy region: gates emitted until the matching
@@ -64,7 +67,10 @@ impl NetlistBuilder {
     /// # Panics
     /// Panics when called without a matching [`NetlistBuilder::push_region`].
     pub fn pop_region(&mut self) {
-        assert!(self.region_stack.len() > 1, "pop_region without push_region");
+        assert!(
+            self.region_stack.len() > 1,
+            "pop_region without push_region"
+        );
         self.region_stack.pop();
     }
 
@@ -84,15 +90,19 @@ impl NetlistBuilder {
     pub fn input(&mut self, name: impl Into<String>, width: usize) -> Vec<Signal> {
         let bits: Vec<NetId> = (0..width).map(|_| self.fresh_net()).collect();
         let signals: Vec<Signal> = bits.iter().copied().map(Signal::Net).collect();
-        self.module
-            .inputs
-            .push(Port { name: name.into(), bits: signals.clone() });
+        self.module.inputs.push(Port {
+            name: name.into(),
+            bits: signals.clone(),
+        });
         signals
     }
 
     /// Declares an output port driven by `bits` (little-endian).
     pub fn output(&mut self, name: impl Into<String>, bits: &[Signal]) {
-        self.module.outputs.push(Port { name: name.into(), bits: bits.to_vec() });
+        self.module.outputs.push(Port {
+            name: name.into(),
+            bits: bits.to_vec(),
+        });
     }
 
     /// Emits one gate of `kind` and returns its output signal.
@@ -109,9 +119,13 @@ impl NetlistBuilder {
         );
         let output = self.fresh_net();
         let region = self.current_region();
-        self.module
-            .gates
-            .push(Gate { kind, inputs: inputs.to_vec(), output, init: false, region });
+        self.module.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            init: false,
+            region,
+        });
         Signal::Net(output)
     }
 
@@ -164,9 +178,13 @@ impl NetlistBuilder {
     pub fn dff(&mut self, d: Signal, init: bool) -> Signal {
         let output = self.fresh_net();
         let region = self.current_region();
-        self.module
-            .gates
-            .push(Gate { kind: CellKind::Dff, inputs: vec![d], output, init, region });
+        self.module.gates.push(Gate {
+            kind: CellKind::Dff,
+            inputs: vec![d],
+            output,
+            init,
+            region,
+        });
         Signal::Net(output)
     }
 
@@ -183,16 +201,26 @@ impl NetlistBuilder {
         style: RomStyle,
     ) -> Vec<Signal> {
         assert!(!addr.is_empty(), "ROM requires at least one address bit");
-        assert!((1..=64).contains(&data_bits), "ROM word width must be 1..=64");
+        assert!(
+            (1..=64).contains(&data_bits),
+            "ROM word width must be 1..=64"
+        );
         let data: Vec<NetId> = (0..data_bits).map(|_| self.fresh_net()).collect();
         let signals = data.iter().copied().map(Signal::Net).collect();
-        self.module.roms.push(RomInstance { addr: addr.to_vec(), data, contents, style });
+        self.module.roms.push(RomInstance {
+            addr: addr.to_vec(),
+            data,
+            contents,
+            style,
+        });
         signals
     }
 
     /// A `width`-bit constant word (no hardware; pure signals).
     pub fn const_word(&self, value: u64, width: usize) -> Vec<Signal> {
-        (0..width).map(|i| Signal::Const((value >> i) & 1 == 1)).collect()
+        (0..width)
+            .map(|i| Signal::Const((value >> i) & 1 == 1))
+            .collect()
     }
 
     /// Per-bit 2:1 mux over two equal-width words.
@@ -201,7 +229,10 @@ impl NetlistBuilder {
     /// Panics if the words differ in width.
     pub fn mux_word(&mut self, sel: Signal, a: &[Signal], b: &[Signal]) -> Vec<Signal> {
         assert_eq!(a.len(), b.len(), "mux_word requires equal widths");
-        a.iter().zip(b).map(|(&x, &y)| self.mux(sel, x, y)).collect()
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.mux(sel, x, y))
+            .collect()
     }
 
     /// Word-wide register bank; returns the Q word.
@@ -222,7 +253,10 @@ impl NetlistBuilder {
     pub fn mux_tree(&mut self, sel: &[Signal], words: &[Vec<Signal>]) -> Vec<Signal> {
         assert!(!words.is_empty(), "mux_tree over no words");
         let width = words[0].len();
-        assert!(words.iter().all(|w| w.len() == width), "mux_tree width mismatch");
+        assert!(
+            words.iter().all(|w| w.len() == width),
+            "mux_tree width mismatch"
+        );
         let mut layer: Vec<Vec<Signal>> = words.to_vec();
         for &s in sel {
             let mut next = Vec::with_capacity(layer.len().div_ceil(2));
@@ -234,7 +268,13 @@ impl NetlistBuilder {
             }
             layer = next;
         }
-        assert_eq!(layer.len(), 1, "select width {} too small for {} words", sel.len(), words.len());
+        assert_eq!(
+            layer.len(),
+            1,
+            "select width {} too small for {} words",
+            sel.len(),
+            words.len()
+        );
         layer.pop().unwrap()
     }
 
@@ -278,7 +318,13 @@ impl NetlistBuilder {
     /// constructor when instantiating an existing module).
     pub(crate) fn push_raw_gate(&mut self, kind: CellKind, inputs: Vec<Signal>, output: NetId) {
         let region = self.current_region();
-        self.module.gates.push(Gate { kind, inputs, output, init: false, region });
+        self.module.gates.push(Gate {
+            kind,
+            inputs,
+            output,
+            init: false,
+            region,
+        });
     }
 
     /// Emits a ROM macro onto pre-allocated data nets (miter instantiation).
@@ -289,7 +335,12 @@ impl NetlistBuilder {
         contents: Vec<u64>,
         style: RomStyle,
     ) {
-        self.module.roms.push(RomInstance { addr, data, contents, style });
+        self.module.roms.push(RomInstance {
+            addr,
+            data,
+            contents,
+            style,
+        });
     }
 
     /// Rewires the D input of the flip-flop driving `q`.

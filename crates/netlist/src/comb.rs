@@ -70,7 +70,13 @@ pub fn decoder(b: &mut NetlistBuilder, addr: &[Signal]) -> Vec<Signal> {
             let terms: Vec<Signal> = addr
                 .iter()
                 .enumerate()
-                .map(|(bit, &s)| if (i >> bit) & 1 == 1 { s } else { inverted[bit] })
+                .map(|(bit, &s)| {
+                    if (i >> bit) & 1 == 1 {
+                        s
+                    } else {
+                        inverted[bit]
+                    }
+                })
                 .collect();
             b.and_reduce(&terms)
         })
@@ -93,11 +99,17 @@ pub fn onehot_select(
     assert_eq!(select.len(), words.len(), "one select line per word");
     assert!(!words.is_empty(), "onehot_select over no words");
     let width = words[0].len();
-    assert!(words.iter().all(|w| w.len() == width), "onehot_select width mismatch");
+    assert!(
+        words.iter().all(|w| w.len() == width),
+        "onehot_select width mismatch"
+    );
     (0..width)
         .map(|bit| {
-            let masked: Vec<Signal> =
-                select.iter().zip(words).map(|(&s, w)| b.and(s, w[bit])).collect();
+            let masked: Vec<Signal> = select
+                .iter()
+                .zip(words)
+                .map(|(&s, w)| b.and(s, w[bit]))
+                .collect();
             b.or_reduce(&masked)
         })
         .collect()

@@ -95,29 +95,36 @@ pub fn insert_buffers(module: &Module, limit: usize) -> Module {
         for (gi, g) in m.gates.iter().enumerate() {
             for (pin, s) in g.inputs.iter().enumerate() {
                 if let Signal::Net(n) = s {
-                    readers.entry(*n).or_default().push(Reader::GatePin(gi, pin));
+                    readers
+                        .entry(*n)
+                        .or_default()
+                        .push(Reader::GatePin(gi, pin));
                 }
             }
         }
         for (ri, r) in m.roms.iter().enumerate() {
             for (pin, s) in r.addr.iter().enumerate() {
                 if let Signal::Net(n) = s {
-                    readers.entry(*n).or_default().push(Reader::RomAddr(ri, pin));
+                    readers
+                        .entry(*n)
+                        .or_default()
+                        .push(Reader::RomAddr(ri, pin));
                 }
             }
         }
         for (pi, p) in m.outputs.iter().enumerate() {
             for (pin, s) in p.bits.iter().enumerate() {
                 if let Signal::Net(n) = s {
-                    readers.entry(*n).or_default().push(Reader::OutputBit(pi, pin));
+                    readers
+                        .entry(*n)
+                        .or_default()
+                        .push(Reader::OutputBit(pi, pin));
                 }
             }
         }
         let mut worst: Option<(NetId, Vec<Reader>)> = None;
         for (net, list) in readers {
-            if list.len() > limit
-                && worst.as_ref().is_none_or(|(_, w)| list.len() > w.len())
-            {
+            if list.len() > limit && worst.as_ref().is_none_or(|(_, w)| list.len() > w.len()) {
                 worst = Some((net, list));
             }
         }
@@ -179,7 +186,11 @@ mod tests {
     fn insertion_enforces_the_limit() {
         let m = fan_module(33);
         let repaired = insert_buffers(&m, 4);
-        assert!(max_fanout(&repaired) <= 4, "max fanout {}", max_fanout(&repaired));
+        assert!(
+            max_fanout(&repaired) <= 4,
+            "max fanout {}",
+            max_fanout(&repaired)
+        );
         // 33 readers -> 9 leaf buffers -> 3 mid buffers -> 1 top... the
         // exact count depends on chunking; just require buffers exist.
         assert!(repaired.gates_of(CellKind::Buf).count() >= 9);

@@ -65,7 +65,18 @@ pub fn fault_sites(module: &Module) -> Vec<Fault> {
         nets.extend(r.data.iter().copied());
     }
     nets.iter()
-        .flat_map(|&net| [Fault { net, stuck_at: false }, Fault { net, stuck_at: true }])
+        .flat_map(|&net| {
+            [
+                Fault {
+                    net,
+                    stuck_at: false,
+                },
+                Fault {
+                    net,
+                    stuck_at: true,
+                },
+            ]
+        })
         .collect()
 }
 
@@ -106,13 +117,19 @@ pub fn inject(module: &Module, fault: Fault) -> Module {
 ///
 /// Runs on the 64-lane [`crate::batch::BatchSimulator`], so each faulty
 /// copy is exercised against 64 vectors per pass — the standard
-/// parallel-pattern fault simulation arrangement.
+/// parallel-pattern fault simulation arrangement. Fault sites are
+/// additionally sharded across the [`exec`] thread pool: each injected
+/// simulation is independent, and the verdict list is reassembled in
+/// site order, so the report does not depend on the thread count.
 ///
 /// # Panics
 /// Panics if the module is sequential (run the vectors through your own
 /// clocking harness instead) or a vector's arity is wrong.
 pub fn coverage(module: &Module, vectors: &[Vec<u64>]) -> FaultCoverage {
-    assert!(module.is_combinational(), "fault coverage supports combinational modules");
+    assert!(
+        module.is_combinational(),
+        "fault coverage supports combinational modules"
+    );
     for (i, v) in vectors.iter().enumerate() {
         assert_eq!(v.len(), module.inputs.len(), "vector {i} arity mismatch");
     }
@@ -120,17 +137,21 @@ pub fn coverage(module: &Module, vectors: &[Vec<u64>]) -> FaultCoverage {
     let responses = batch_responses(module, vectors);
 
     let sites = fault_sites(module);
-    let mut detected = 0usize;
-    let mut undetected = Vec::new();
-    for fault in sites.iter().copied() {
-        let faulty = inject(module, fault);
-        if batch_responses(&faulty, vectors) != responses {
-            detected += 1;
-        } else {
-            undetected.push(fault);
-        }
+    let verdicts: Vec<bool> = exec::parallel_map(&sites, |_, &fault| {
+        batch_responses(&inject(module, fault), vectors) != responses
+    });
+    let detected = verdicts.iter().filter(|&&d| d).count();
+    let undetected = sites
+        .iter()
+        .zip(&verdicts)
+        .filter(|&(_, &d)| !d)
+        .map(|(&f, _)| f)
+        .collect();
+    FaultCoverage {
+        total: sites.len(),
+        detected,
+        undetected,
     }
-    FaultCoverage { total: sites.len(), detected, undetected }
 }
 
 /// Evaluates all vectors, 64 lanes per pass, returning per-vector output
@@ -196,7 +217,10 @@ mod tests {
     #[test]
     fn injection_forces_readers_to_the_constant() {
         let m = and_module();
-        let f = Fault { net: m.inputs[0].bits[0].net().unwrap(), stuck_at: true };
+        let f = Fault {
+            net: m.inputs[0].bits[0].net().unwrap(),
+            stuck_at: true,
+        };
         let faulty = inject(&m, f);
         let mut sim = Simulator::new(&faulty);
         // x0 stuck at 1: output follows x1 regardless of driven x0.

@@ -121,8 +121,15 @@ impl RomInstance {
 
     /// Number of set bits across the stored contents.
     pub fn set_bits(&self) -> usize {
-        let mask = if self.data.len() >= 64 { u64::MAX } else { (1u64 << self.data.len()) - 1 };
-        self.contents.iter().map(|w| (w & mask).count_ones() as usize).sum()
+        let mask = if self.data.len() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.data.len()) - 1
+        };
+        self.contents
+            .iter()
+            .map(|w| (w & mask).count_ones() as usize)
+            .sum()
     }
 
     /// Reads the word at `address` (zero beyond the stored contents).
@@ -333,8 +340,20 @@ mod tests {
         let mut m = Module::new("bad");
         m.net_count = 1;
         let n = NetId(0);
-        m.gates.push(Gate { kind: CellKind::Inv, inputs: vec![Signal::ONE], output: n, init: false, region: 0 });
-        m.gates.push(Gate { kind: CellKind::Inv, inputs: vec![Signal::ZERO], output: n, init: false, region: 0 });
+        m.gates.push(Gate {
+            kind: CellKind::Inv,
+            inputs: vec![Signal::ONE],
+            output: n,
+            init: false,
+            region: 0,
+        });
+        m.gates.push(Gate {
+            kind: CellKind::Inv,
+            inputs: vec![Signal::ZERO],
+            output: n,
+            init: false,
+            region: 0,
+        });
         let err = m.validate().unwrap_err();
         assert!(err.contains("multiple drivers"), "{err}");
     }
@@ -368,13 +387,22 @@ mod tests {
     fn histogram_counts_kinds() {
         let mut m = Module::new("h");
         m.net_count = 3;
-        for (i, kind) in [CellKind::Inv, CellKind::Inv, CellKind::Xor2].into_iter().enumerate() {
+        for (i, kind) in [CellKind::Inv, CellKind::Inv, CellKind::Xor2]
+            .into_iter()
+            .enumerate()
+        {
             let inputs = match kind.input_count() {
                 1 => vec![Signal::ONE],
                 2 => vec![Signal::ONE, Signal::ZERO],
                 _ => unreachable!(),
             };
-            m.gates.push(Gate { kind, inputs, output: NetId(i as u32), init: false, region: 0 });
+            m.gates.push(Gate {
+                kind,
+                inputs,
+                output: NetId(i as u32),
+                init: false,
+                region: 0,
+            });
         }
         let hist = m.gate_histogram();
         assert_eq!(hist, vec![(CellKind::Inv, 2), (CellKind::Xor2, 1)]);

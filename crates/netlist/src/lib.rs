@@ -57,10 +57,10 @@ pub mod verilog;
 pub use analysis::{analyze, Ppa};
 pub use batch::BatchSimulator;
 pub use builder::NetlistBuilder;
-pub use ir::{Gate, Module, NetId, Port, RomInstance, Signal};
-pub use opt::optimize;
 pub use fanout::{fanout_histogram, insert_buffers, max_fanout};
 pub use faults::{coverage as fault_coverage, Fault, FaultCoverage};
+pub use ir::{Gate, Module, NetId, Port, RomInstance, Signal};
+pub use opt::optimize;
 pub use sim::Simulator;
 pub use stats::{logic_levels, max_logic_levels};
 pub use testbench::to_testbench;

@@ -135,7 +135,9 @@ fn simplify_pass(m: &mut Module) -> bool {
         // Check both operand orders: one side plain, the other a compound.
         for (plain, compound) in [(a, b), (b, a)] {
             let Signal::Net(cn) = compound else { continue };
-            let Some(&(x, y)) = inner_map.get(&cn) else { continue };
+            let Some(&(x, y)) = inner_map.get(&cn) else {
+                continue;
+            };
             // Absorption: plain appears inside the dual-op compound.
             if x == plain || y == plain {
                 return Some(Action::Alias(plain));
@@ -172,10 +174,8 @@ fn simplify_pass(m: &mut Module) -> bool {
             }
         }
         let action = match gate.kind {
-            CellKind::And2 | CellKind::Or2 => {
-                absorb(gate.kind, gate.inputs[0], gate.inputs[1])
-                    .unwrap_or_else(|| simplify_gate(&gate, &inv_of, &complementary))
-            }
+            CellKind::And2 | CellKind::Or2 => absorb(gate.kind, gate.inputs[0], gate.inputs[1])
+                .unwrap_or_else(|| simplify_gate(&gate, &inv_of, &complementary)),
             _ => simplify_gate(&gate, &inv_of, &complementary),
         };
         match action {
@@ -188,7 +188,13 @@ fn simplify_pass(m: &mut Module) -> bool {
             }
             Action::Rewrite(kind, inputs) => {
                 changed = true;
-                keep.push(Gate { kind, inputs, output: gate.output, init: false, region: gate.region });
+                keep.push(Gate {
+                    kind,
+                    inputs,
+                    output: gate.output,
+                    init: false,
+                    region: gate.region,
+                });
             }
             Action::RewriteInverted(kind, to_invert, other) => {
                 changed = true;
@@ -452,7 +458,10 @@ mod tests {
         b.output("o", &[d]);
         let m = optimize(&b.finish());
         assert_eq!(m.gate_count(), 0);
-        assert_eq!(m.outputs[0].bits[0], Signal::Net(m.inputs[0].bits[0].net().unwrap()));
+        assert_eq!(
+            m.outputs[0].bits[0],
+            Signal::Net(m.inputs[0].bits[0].net().unwrap())
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ impl<'m> Simulator<'m> {
             }
         }
         for (i, gate) in module.gates.iter().enumerate() {
-            let d = if gate.kind.is_sequential() { Driver::Dff(i) } else { Driver::Gate(i) };
+            let d = if gate.kind.is_sequential() {
+                Driver::Dff(i)
+            } else {
+                Driver::Gate(i)
+            };
             drivers.insert(gate.output, d);
         }
         for (i, rom) in module.roms.iter().enumerate() {
@@ -129,7 +133,9 @@ impl<'m> Simulator<'m> {
                 if *next_input < inputs.len() {
                     let idx = *next_input;
                     *next_input += 1;
-                    let Signal::Net(n) = inputs[idx] else { continue };
+                    let Signal::Net(n) = inputs[idx] else {
+                        continue;
+                    };
                     let dep = match drivers.get(&n) {
                         Some(Driver::Gate(g)) => EvalItem::Gate(*g),
                         Some(Driver::Rom(r)) => EvalItem::Rom(*r),
@@ -172,12 +178,22 @@ impl<'m> Simulator<'m> {
             .inputs
             .iter()
             .map(|p| {
-                let nets = p.bits.iter().map(|s| s.net().expect("input bit is a net")).collect();
+                let nets = p
+                    .bits
+                    .iter()
+                    .map(|s| s.net().expect("input bit is a net"))
+                    .collect();
                 (p.name.clone(), nets)
             })
             .collect();
 
-        Simulator { module, values: vec![false; module.net_count()], state, order, input_ports }
+        Simulator {
+            module,
+            values: vec![false; module.net_count()],
+            state,
+            order,
+            input_ports,
+        }
     }
 
     /// Drives input port `name` with the little-endian bits of `value`.
@@ -327,7 +343,16 @@ mod tests {
             sim.set("x", v);
             sim.settle();
             let (a, bb) = (v & 1 == 1, v & 2 == 2);
-            let expect = [!a, a, a & bb, a | bb, !(a & bb), !(a | bb), a ^ bb, !(a ^ bb)];
+            let expect = [
+                !a,
+                a,
+                a & bb,
+                a | bb,
+                !(a & bb),
+                !(a | bb),
+                a ^ bb,
+                !(a ^ bb),
+            ];
             for (i, e) in expect.into_iter().enumerate() {
                 assert_eq!((sim.get("o") >> i) & 1 == 1, e, "v={v} out={i}");
             }

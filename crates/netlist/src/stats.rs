@@ -97,7 +97,11 @@ pub fn logic_levels(module: &Module) -> Vec<(String, usize, usize)> {
 
 /// The deepest logic level of any output.
 pub fn max_logic_levels(module: &Module) -> usize {
-    logic_levels(module).into_iter().map(|(_, _, d)| d).max().unwrap_or(0)
+    logic_levels(module)
+        .into_iter()
+        .map(|(_, _, d)| d)
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

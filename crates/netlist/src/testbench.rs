@@ -38,10 +38,20 @@ pub fn to_testbench(module: &Module, vectors: &[Vector], cycles_per_vector: usiz
         let _ = writeln!(out, "  always #5 clk = ~clk;");
     }
     for p in &module.inputs {
-        let _ = writeln!(out, "  reg [{}:0] {} = 0;", p.width().saturating_sub(1), p.name);
+        let _ = writeln!(
+            out,
+            "  reg [{}:0] {} = 0;",
+            p.width().saturating_sub(1),
+            p.name
+        );
     }
     for p in &module.outputs {
-        let _ = writeln!(out, "  wire [{}:0] {};", p.width().saturating_sub(1), p.name);
+        let _ = writeln!(
+            out,
+            "  wire [{}:0] {};",
+            p.width().saturating_sub(1),
+            p.name
+        );
     }
     let mut ports: Vec<String> = Vec::new();
     if sequential {
@@ -53,7 +63,13 @@ pub fn to_testbench(module: &Module, vectors: &[Vector], cycles_per_vector: usiz
     let name: String = module
         .name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     let _ = writeln!(out, "  {name} dut ({});", ports.join(", "));
     let _ = writeln!(out, "  integer errors = 0;");
@@ -83,7 +99,11 @@ pub fn to_testbench(module: &Module, vectors: &[Vector], cycles_per_vector: usiz
             // The DUT needs a reset per vector in general; this testbench
             // targets designs whose state converges from the vector alone
             // within the cycle budget, so we simply wait the cycles out.
-            let _ = writeln!(out, "    repeat ({}) @(posedge clk);", cycles_per_vector.max(1));
+            let _ = writeln!(
+                out,
+                "    repeat ({}) @(posedge clk);",
+                cycles_per_vector.max(1)
+            );
             let _ = writeln!(out, "    #1;");
         } else {
             sim.settle();
@@ -129,7 +149,10 @@ mod tests {
         assert!(tb.contains("4'd7"), "3+4 expectation missing:\n{tb}");
         assert!(tb.contains("4'd14"), "7+7 expectation missing");
         assert!(tb.contains("PASS"));
-        assert!(!tb.contains("clk"), "combinational testbench needs no clock");
+        assert!(
+            !tb.contains("clk"),
+            "combinational testbench needs no clock"
+        );
     }
 
     #[test]

@@ -40,13 +40,20 @@ impl Equivalence {
 /// Panics if the modules' port names/widths differ or either is
 /// sequential.
 pub fn miter(a: &Module, b: &Module) -> Module {
-    assert!(a.is_combinational() && b.is_combinational(), "miter needs combinational modules");
+    assert!(
+        a.is_combinational() && b.is_combinational(),
+        "miter needs combinational modules"
+    );
     assert_eq!(a.inputs.len(), b.inputs.len(), "input port count differs");
     for (pa, pb) in a.inputs.iter().zip(&b.inputs) {
         assert_eq!(pa.name, pb.name, "input port name differs");
         assert_eq!(pa.width(), pb.width(), "input port width differs");
     }
-    assert_eq!(a.outputs.len(), b.outputs.len(), "output port count differs");
+    assert_eq!(
+        a.outputs.len(),
+        b.outputs.len(),
+        "output port count differs"
+    );
     for (pa, pb) in a.outputs.iter().zip(&b.outputs) {
         assert_eq!(pa.name, pb.name, "output port name differs");
         assert_eq!(pa.width(), pb.width(), "output port width differs");
@@ -54,8 +61,11 @@ pub fn miter(a: &Module, b: &Module) -> Module {
 
     let mut m = NetlistBuilder::new(format!("miter_{}_{}", a.name, b.name));
     // Shared inputs.
-    let shared: Vec<Vec<Signal>> =
-        a.inputs.iter().map(|p| m.input(p.name.clone(), p.width())).collect();
+    let shared: Vec<Vec<Signal>> = a
+        .inputs
+        .iter()
+        .map(|p| m.input(p.name.clone(), p.width()))
+        .collect();
 
     // Instantiate a copy of `src` into the miter, remapping nets.
     fn instantiate(
@@ -101,8 +111,11 @@ pub fn miter(a: &Module, b: &Module) -> Module {
         }
         for r in &src.roms {
             let addr: Vec<Signal> = r.addr.iter().map(|&s| remap(&map, s)).collect();
-            let data: Vec<crate::ir::NetId> =
-                r.data.iter().map(|d| map[d].net().expect("allocated net")).collect();
+            let data: Vec<crate::ir::NetId> = r
+                .data
+                .iter()
+                .map(|d| map[d].net().expect("allocated net"))
+                .collect();
             m.push_raw_rom(addr, data, r.contents.clone(), r.style);
         }
         src.outputs
@@ -120,7 +133,11 @@ pub fn miter(a: &Module, b: &Module) -> Module {
             diffs.push(m.xor(ba, bb));
         }
     }
-    let diff = if diffs.is_empty() { Signal::ZERO } else { m.or_reduce(&diffs) };
+    let diff = if diffs.is_empty() {
+        Signal::ZERO
+    } else {
+        m.or_reduce(&diffs)
+    };
     m.output("diff", &[diff]);
     m.finish()
 }
@@ -166,7 +183,10 @@ pub fn check_equivalence(
                 return Equivalence::CounterExample(values);
             }
         }
-        Equivalence::Equivalent { vectors: count as usize, exhaustive: true }
+        Equivalence::Equivalent {
+            vectors: count as usize,
+            exhaustive: true,
+        }
     } else {
         // Deterministic xorshift sampling.
         let mut state = 0x9e3779b97f4a7c15u64;
@@ -185,7 +205,10 @@ pub fn check_equivalence(
                 return Equivalence::CounterExample(values);
             }
         }
-        Equivalence::Equivalent { vectors: samples, exhaustive: false }
+        Equivalence::Equivalent {
+            vectors: samples,
+            exhaustive: false,
+        }
     }
 }
 
@@ -206,7 +229,13 @@ mod tests {
         let optimized = optimize(&original);
         let verdict = check_equivalence(&original, &optimized, 16, 0);
         assert!(
-            matches!(verdict, Equivalence::Equivalent { exhaustive: true, .. }),
+            matches!(
+                verdict,
+                Equivalence::Equivalent {
+                    exhaustive: true,
+                    ..
+                }
+            ),
             "{verdict:?}"
         );
     }
@@ -244,7 +273,13 @@ mod tests {
         let opt = optimize(&a);
         let verdict = check_equivalence(&a, &opt, 16, 200);
         assert!(
-            matches!(verdict, Equivalence::Equivalent { exhaustive: false, vectors: 200 }),
+            matches!(
+                verdict,
+                Equivalence::Equivalent {
+                    exhaustive: false,
+                    vectors: 200
+                }
+            ),
             "{verdict:?}"
         );
     }

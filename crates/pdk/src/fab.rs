@@ -103,7 +103,11 @@ mod tests {
         // one-off bespoke classifier is economical.
         let fab = FabModel::for_technology(Technology::Egt);
         let tag = Area::from_cm2(1.0); // a bespoke tree incl. margins
-        assert!(fab.unit_cost_usd(tag, 1) < 0.01, "{}", fab.unit_cost_usd(tag, 1));
+        assert!(
+            fab.unit_cost_usd(tag, 1) < 0.01,
+            "{}",
+            fab.unit_cost_usd(tag, 1)
+        );
         assert_eq!(fab.break_even_volume(tag, 0.01), Some(1));
     }
 
@@ -113,7 +117,9 @@ mod tests {
         // moderate volume.
         let fab = FabModel::for_technology(Technology::Tsmc40);
         let die = Area::from_um2(500.0); // a silicon bespoke tree is tiny
-        let volume = fab.break_even_volume(die, 0.01).expect("possible at some volume");
+        let volume = fab
+            .break_even_volume(die, 0.01)
+            .expect("possible at some volume");
         assert!(volume > 10_000_000, "breaks even at {volume}");
         // A bespoke run of 10k units costs ~100 USD each: absurd for a
         // milk carton.

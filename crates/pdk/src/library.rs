@@ -285,7 +285,10 @@ impl CellLibrary {
     /// # Panics
     /// Panics if either factor is below 1 (derating never improves).
     pub fn derated(&self, delay_factor: f64, power_factor: f64) -> CellLibrary {
-        assert!(delay_factor >= 1.0 && power_factor >= 1.0, "derating factors must be >= 1");
+        assert!(
+            delay_factor >= 1.0 && power_factor >= 1.0,
+            "derating factors must be >= 1"
+        );
         let scale = |c: CellCost| CellCost {
             area: c.area,
             delay: c.delay * delay_factor,

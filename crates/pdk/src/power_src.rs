@@ -231,7 +231,9 @@ mod tests {
         assert!(b.lifetime_hours(Power::from_mw(10.0)).is_none());
         assert!(b.lifetime_hours(Power::ZERO).is_none());
         // Harvesters never report a battery lifetime.
-        assert!(PowerSource::printed_harvester().lifetime_hours(Power::from_uw(10.0)).is_none());
+        assert!(PowerSource::printed_harvester()
+            .lifetime_hours(Power::from_uw(10.0))
+            .is_none());
     }
 
     #[test]

@@ -48,12 +48,22 @@ pub struct RomSpec {
 impl RomSpec {
     /// Conventional crossbar ROM of `words × bits`.
     pub fn crossbar(words: usize, bits: usize) -> Self {
-        RomSpec { words, bits, set_bits: words * bits, style: RomStyle::Crossbar }
+        RomSpec {
+            words,
+            bits,
+            set_bits: words * bits,
+            style: RomStyle::Crossbar,
+        }
     }
 
     /// Bespoke dot-resistor ROM with `set_bits` printed dots.
     pub fn bespoke(words: usize, bits: usize, set_bits: usize) -> Self {
-        RomSpec { words, bits, set_bits, style: RomStyle::BespokeDots }
+        RomSpec {
+            words,
+            bits,
+            set_bits,
+            style: RomStyle::BespokeDots,
+        }
     }
 
     /// Address width in bits (`ceil(log2(words))`, minimum 1).

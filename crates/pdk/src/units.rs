@@ -398,8 +398,14 @@ mod tests {
 
     #[test]
     fn min_max_zero() {
-        assert_eq!(Delay::from_ms(1.0).max(Delay::from_ms(2.0)), Delay::from_ms(2.0));
-        assert_eq!(Delay::from_ms(1.0).min(Delay::from_ms(2.0)), Delay::from_ms(1.0));
+        assert_eq!(
+            Delay::from_ms(1.0).max(Delay::from_ms(2.0)),
+            Delay::from_ms(2.0)
+        );
+        assert_eq!(
+            Delay::from_ms(1.0).min(Delay::from_ms(2.0)),
+            Delay::from_ms(1.0)
+        );
         assert!(Area::ZERO.is_zero());
         assert!(!Area::from_mm2(1.0).is_zero());
     }

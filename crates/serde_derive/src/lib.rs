@@ -1,0 +1,388 @@
+//! Derive macros for the in-repo `serde` stand-in.
+//!
+//! Implemented directly against `proc_macro` (no `syn`/`quote`, which
+//! live on the unreachable registry). Supports exactly the shapes this
+//! workspace derives on:
+//!
+//! * structs with named fields;
+//! * tuple structs (including newtypes);
+//! * enums whose variants are unit, tuple or struct-like;
+//! * no generic parameters (none of the derived types have any).
+//!
+//! The JSON encoding matches serde_json's defaults for these shapes, so
+//! artifacts emitted before the vendoring keep their schema: named
+//! structs become objects, a newtype struct is transparent, unit
+//! variants become strings, and data-carrying variants become
+//! single-key objects (externally tagged).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.serialize_impl()
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.deserialize_impl()
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+/// Field layout of a struct or enum variant.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// The parsed derive target.
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Item {
+        let mut toks = input.into_iter().peekable();
+        skip_attrs_and_vis(&mut toks);
+        let kw = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+        };
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected type name, got {other:?}"),
+        };
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            panic!("serde_derive: generic types are not supported (deriving on `{name}`)");
+        }
+        let kind = match kw.as_str() {
+            "struct" => Kind::Struct(parse_struct_fields(&mut toks, &name)),
+            "enum" => Kind::Enum(parse_variants(&mut toks, &name)),
+            other => panic!("serde_derive: cannot derive on `{other}`"),
+        };
+        Item { name, kind }
+    }
+
+    fn serialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.kind {
+            Kind::Struct(fields) => match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => object_expr(
+                    names
+                        .iter()
+                        .map(|f| (f.clone(), format!("&self.{f}")))
+                        .collect(),
+                ),
+            },
+            Kind::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|(vname, fields)| match fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(x0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {payload})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fnames) => {
+                            let payload = object_expr(
+                                fnames.iter().map(|f| (f.clone(), f.clone())).collect(),
+                            );
+                            format!(
+                                "{name}::{vname} {{ {fields} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {payload})]),",
+                                fields = fnames.join(", ")
+                            )
+                        }
+                    })
+                    .collect();
+                format!("match self {{ {} }}", arms.join("\n"))
+            }
+        };
+        format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+             }}"
+        )
+    }
+
+    fn deserialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.kind {
+            Kind::Struct(fields) => match fields {
+                Fields::Unit => format!(
+                    "if v.is_null() {{ Ok({name}) }} else {{ \
+                     Err(::serde::Error::msg(\"expected null for unit struct {name}\")) }}"
+                ),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                             ::serde::Value::Array(items) if items.len() == {n} => \
+                                 Ok({name}({items})),\n\
+                             other => Err(::serde::Error::msg(format!(\
+                                 \"expected {n}-element array for {name}, got {{other:?}}\"))),\n\
+                         }}",
+                        items = items.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    format!(
+                        "if !v.is_object() {{ return Err(::serde::Error::msg(format!(\
+                             \"expected object for {name}, got {{v:?}}\"))); }}\n\
+                         Ok({name} {{ {fields} }})",
+                        fields = named_field_parsers(names).join(", ")
+                    )
+                }
+            },
+            Kind::Enum(variants) => {
+                let unit_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|(_, f)| matches!(f, Fields::Unit))
+                    .map(|(vname, _)| format!("\"{vname}\" => Ok({name}::{vname}),"))
+                    .collect();
+                let data_arms: Vec<String> = variants
+                    .iter()
+                    .filter_map(|(vname, fields)| match fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(payload)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => match payload {{\n\
+                                     ::serde::Value::Array(items) if items.len() == {n} => \
+                                         Ok({name}::{vname}({items})),\n\
+                                     other => Err(::serde::Error::msg(format!(\
+                                         \"expected {n}-element array for {name}::{vname}, \
+                                          got {{other:?}}\"))),\n\
+                                 }},",
+                                items = items.join(", ")
+                            ))
+                        }
+                        Fields::Named(fnames) => {
+                            let fields = named_field_parsers(fnames)
+                                .join(", ")
+                                .replace("v.field", "payload.field");
+                            Some(format!(
+                                "\"{vname}\" => Ok({name}::{vname} {{ {fields} }}),"
+                            ))
+                        }
+                    })
+                    .collect();
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Str(s) => match s.as_str() {{\n\
+                             {unit_arms}\n\
+                             other => Err(::serde::Error::msg(format!(\
+                                 \"unknown {name} variant {{other:?}}\"))),\n\
+                         }},\n\
+                         ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                             let (tag, payload) = &pairs[0];\n\
+                             let _ = payload;\n\
+                             match tag.as_str() {{\n\
+                                 {data_arms}\n\
+                                 other => Err(::serde::Error::msg(format!(\
+                                     \"unknown {name} variant {{other:?}}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         other => Err(::serde::Error::msg(format!(\
+                             \"expected {name} variant, got {{other:?}}\"))),\n\
+                     }}",
+                    unit_arms = unit_arms.join("\n"),
+                    data_arms = data_arms.join("\n"),
+                )
+            }
+        };
+        format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> \
+                     ::std::result::Result<{name}, ::serde::Error> {{ {body} }}\n\
+             }}"
+        )
+    }
+}
+
+/// `Value::Object(vec![("name", to_value(expr)), ...])`.
+fn object_expr(fields: Vec<(String, String)>) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|(f, expr)| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({expr}))"))
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+}
+
+/// `name: Deserialize::from_value(v.field("name"))?` per field.
+fn named_field_parsers(names: &[String]) -> Vec<String> {
+    names
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\"))?"))
+        .collect()
+}
+
+type Peekable = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips outer attributes (`#[...]`, including rendered doc comments)
+/// and a `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(toks: &mut Peekable) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde_derive: malformed attribute, got {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    toks.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_struct_fields(toks: &mut Peekable, name: &str) -> Fields {
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("serde_derive: malformed struct `{name}` body: {other:?}"),
+    }
+}
+
+/// Field names of a `{ ... }` field list.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        match toks.next() {
+            None => return names,
+            Some(TokenTree::Ident(field)) => {
+                names.push(field.to_string());
+                match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+                }
+                skip_type_until_comma(&mut toks);
+            }
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        }
+    }
+}
+
+/// Consumes a type, stopping after the `,` that terminates it (or at
+/// end of stream). Tracks `<...>` nesting so commas inside generic
+/// arguments don't split fields.
+fn skip_type_until_comma(toks: &mut Peekable) {
+    let mut angle_depth = 0usize;
+    for tok in toks.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Arity of a `( ... )` field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut count = 0usize;
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        skip_type_until_comma(&mut toks);
+    }
+}
+
+fn parse_variants(toks: &mut Peekable, name: &str) -> Vec<(String, Fields)> {
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive: malformed enum `{name}` body: {other:?}"),
+    };
+    let mut toks = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let vname = match toks.next() {
+            None => return variants,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected variant name in `{name}`, got {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                toks.next();
+                Fields::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                toks.next();
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        // Consume up to and including the trailing comma (skipping any
+        // explicit discriminant, which this workspace doesn't use).
+        skip_type_until_comma(&mut toks);
+        variants.push((vname, fields));
+    }
+}

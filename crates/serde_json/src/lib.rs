@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+
+//! # serde_json — in-repo stand-in
+//!
+//! Thin functional façade over the in-repo `serde` stand-in's
+//! [`Value`] model, exposing the call surface this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], [`to_value`] and
+//! [`from_value`]. See `crates/serde` for why these exist.
+
+pub use serde::value::parse;
+pub use serde::{Error, Value};
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+/// Infallible for this implementation; the `Result` mirrors the real
+/// crate's signature so call sites (`?`, `.expect`) read identically.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_compact())
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+/// Infallible; see [`to_string`].
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_pretty())
+}
+
+/// Parses `T` out of a JSON string.
+///
+/// # Errors
+/// Returns the first syntax or shape mismatch.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&parse(s)?)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+/// Infallible; see [`to_string`].
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuilds `T` from a [`Value`] tree.
+///
+/// # Errors
+/// Returns the first shape mismatch.
+pub fn from_value<T: serde::Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_value(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_of_numbers_round_trips() {
+        let xs = vec![1u64, 2, 3];
+        let json = to_string(&xs).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        let back: Vec<u64> = from_str(&json).unwrap();
+        assert_eq!(xs, back);
+    }
+
+    #[test]
+    fn value_round_trips_through_from_str() {
+        let v: Value = from_str(r#"{"a": 1}"#).unwrap();
+        assert_eq!(v["a"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn options_map_to_null() {
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+        assert_eq!(to_string(&Some(5u32)).unwrap(), "5");
+        let none: Option<u32> = from_str("null").unwrap();
+        assert_eq!(none, None);
+    }
+}

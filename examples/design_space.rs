@@ -14,13 +14,15 @@
 //! whitewine` (default `pendigits`).
 
 use printed_ml::analog::AnalogTreeConfig;
-use printed_ml::core::flow::{SvmArch, TreeArch, TreeFlow, SvmFlow};
+use printed_ml::core::flow::{SvmArch, SvmFlow, TreeArch, TreeFlow};
 use printed_ml::core::LookupConfig;
 use printed_ml::ml::synth::Application;
 use printed_ml::pdk::Technology;
 
 fn pick_app() -> Application {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "pendigits".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "pendigits".into());
     Application::ALL
         .into_iter()
         .find(|a| a.name() == name)
@@ -43,12 +45,36 @@ fn main() {
         flow.choice.accuracy
     );
     let tree_archs: Vec<(&str, TreeArch, Vec<Technology>)> = vec![
-        ("conv-serial", TreeArch::ConventionalSerial, Technology::ALL.to_vec()),
-        ("conv-parallel", TreeArch::ConventionalParallel, Technology::ALL.to_vec()),
-        ("bespoke-serial", TreeArch::BespokeSerial, Technology::ALL.to_vec()),
-        ("bespoke-parallel", TreeArch::BespokeParallel, Technology::ALL.to_vec()),
-        ("lookup+opt", TreeArch::Lookup(LookupConfig::optimized()), Technology::ALL.to_vec()),
-        ("analog", TreeArch::Analog(AnalogTreeConfig::default()), vec![Technology::Egt]),
+        (
+            "conv-serial",
+            TreeArch::ConventionalSerial,
+            Technology::ALL.to_vec(),
+        ),
+        (
+            "conv-parallel",
+            TreeArch::ConventionalParallel,
+            Technology::ALL.to_vec(),
+        ),
+        (
+            "bespoke-serial",
+            TreeArch::BespokeSerial,
+            Technology::ALL.to_vec(),
+        ),
+        (
+            "bespoke-parallel",
+            TreeArch::BespokeParallel,
+            Technology::ALL.to_vec(),
+        ),
+        (
+            "lookup+opt",
+            TreeArch::Lookup(LookupConfig::optimized()),
+            Technology::ALL.to_vec(),
+        ),
+        (
+            "analog",
+            TreeArch::Analog(AnalogTreeConfig::default()),
+            vec![Technology::Egt],
+        ),
     ];
     println!(
         "\n{:>17} {:>9} {:>12} {:>12} {:>12} {:>18}",
@@ -64,7 +90,11 @@ fn main() {
                 r.latency.to_string(),
                 r.area.to_string(),
                 r.power.to_string(),
-                if tech.is_printed() { r.feasibility().source_name() } else { "-" }
+                if tech.is_printed() {
+                    r.feasibility().source_name()
+                } else {
+                    "-"
+                }
             );
         }
     }

@@ -31,7 +31,10 @@ fn main() {
     let printed = flow.report(TreeArch::BespokeParallel, Technology::Egt);
     let silicon = flow.report(TreeArch::BespokeParallel, Technology::Tsmc40);
 
-    println!("bespoke tag area: {} printed vs {} in 40nm CMOS\n", printed.area, silicon.area);
+    println!(
+        "bespoke tag area: {} printed vs {} in 40nm CMOS\n",
+        printed.area, silicon.area
+    );
 
     println!(
         "{:>10} {:>12} {:>8} {:>12} {:>12} {:>12}",
@@ -63,7 +66,11 @@ fn main() {
     println!(
         "\nfull printed system ({}): ${unit:.4} per tag at volume ONE — {}",
         system.area(),
-        if unit < 0.01 { "sub-cent, barcode-competitive" } else { "above the barcode bar" }
+        if unit < 0.01 {
+            "sub-cent, barcode-competitive"
+        } else {
+            "above the barcode bar"
+        }
     );
 
     // The silicon counterfactual: what volume would CMOS need to match?

@@ -48,14 +48,21 @@ fn prototype_tree() -> QuantizedTree {
     let tree = DecisionTree::fit(&data, TreeParams::with_depth(2));
     let fq = FeatureQuantizer::fit(&data, 2);
     let qt = QuantizedTree::from_tree(&tree, &fq);
-    assert_eq!(qt.comparison_count(), 3, "prototype must be a full depth-2 tree");
+    assert_eq!(
+        qt.comparison_count(),
+        3,
+        "prototype must be a full depth-2 tree"
+    );
     qt
 }
 
 fn main() {
     println!("== prototype 1: bespoke digital depth-2 decision tree (§IV-C) ==\n");
     let qt = prototype_tree();
-    if let QNode::Split { feature, threshold, .. } = &qt.nodes()[0] {
+    if let QNode::Split {
+        feature, threshold, ..
+    } = &qt.nodes()[0]
+    {
         println!("root: x{} > {threshold}", feature + 1);
     }
     let module = bespoke_parallel(&qt);
@@ -72,8 +79,9 @@ fn main() {
             sim.set("f1", x2);
             sim.settle();
             let class = sim.get("class");
-            let onehot: Vec<&str> =
-                (0..4).map(|c| if c == class { " 1" } else { " 0" }).collect();
+            let onehot: Vec<&str> = (0..4)
+                .map(|c| if c == class { " 1" } else { " 0" })
+                .collect();
             println!(" {x1}  {x2} |{}", onehot.join(" "));
             assert_eq!(class as usize, qt.predict(&[x1, x2]));
         }
@@ -102,14 +110,20 @@ fn main() {
     println!("== prototype 2: 4x1 multi-level printed ROM (§V-B) ==\n");
     let rom = MultiLevelRom::paper_prototype();
     println!("row | R (vs Rsense) | Vout  | decoded bits");
-    for (row, label) in ["2*Rs", "inf (not printed)", "Rs/2", "~0 (max dot)"].iter().enumerate() {
+    for (row, label) in ["2*Rs", "inf (not printed)", "Rs/2", "~0 (max dot)"]
+        .iter()
+        .enumerate()
+    {
         println!(
             "  {row} | {label:>17} | {:.2} V | {:02b}",
             rom.read_voltage(row),
             rom.read(row)
         );
     }
-    println!("whole array: 0b{:08b} (8 bits in 4 elements)", rom.read_all());
+    println!(
+        "whole array: 0b{:08b} (8 bits in 4 elements)",
+        rom.read_all()
+    );
     let sweep = rom.read_transient(20e-3, 200);
     println!(
         "transient read sweep: {} samples over {:.0} ms, settles to {:.2} V",

@@ -34,7 +34,9 @@ fn main() {
 
     // 2. Generate the bespoke parallel architecture and verify it against
     //    the software model on the test set.
-    let module = flow.module(TreeArch::BespokeParallel).expect("digital design");
+    let module = flow
+        .module(TreeArch::BespokeParallel)
+        .expect("digital design");
     let mut sim = Simulator::new(&module);
     let used = flow.qt.used_features();
     let mut agree = 0usize;
@@ -52,7 +54,11 @@ fn main() {
         flow.test.x.len(),
         module.gate_count()
     );
-    assert_eq!(agree, flow.test.x.len(), "hardware must match the model exactly");
+    assert_eq!(
+        agree,
+        flow.test.x.len(),
+        "hardware must match the model exactly"
+    );
 
     // 3. Price it everywhere.
     for tech in Technology::ALL {
@@ -67,5 +73,8 @@ fn main() {
     // 5. The artifact a fab would consume.
     let verilog = to_verilog(&module);
     let preview: String = verilog.lines().take(8).collect::<Vec<_>>().join("\n");
-    println!("\nstructural Verilog ({} lines), head:\n{preview}", verilog.lines().count());
+    println!(
+        "\nstructural Verilog ({} lines), head:\n{preview}",
+        verilog.lines().count()
+    );
 }

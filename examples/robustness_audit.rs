@@ -26,7 +26,9 @@ fn main() {
     println!("== robustness audit: {} ==\n", app.name());
 
     let flow = TreeFlow::new(app, 4, 7);
-    let module = flow.module(TreeArch::BespokeParallel).expect("digital design");
+    let module = flow
+        .module(TreeArch::BespokeParallel)
+        .expect("digital design");
     println!(
         "design under audit: bespoke parallel tree, {} nodes, {} bits, {} gates, {} logic levels\n",
         flow.qt.comparison_count(),
@@ -37,8 +39,13 @@ fn main() {
 
     // 1. Analog print tolerance.
     println!("1. printed-resistor tolerance (analog realization)");
-    let rows: Vec<Vec<u64>> =
-        flow.test.x.iter().take(150).map(|r| flow.fq.code_row(r)).collect();
+    let rows: Vec<Vec<u64>> = flow
+        .test
+        .x
+        .iter()
+        .take(150)
+        .map(|r| flow.fq.code_row(r))
+        .collect();
     for sigma in [0.02, 0.05, 0.1, 0.2] {
         let r = analyze_tree_variation(&flow.qt, &rows, sigma, 16, 7);
         println!(
@@ -54,7 +61,10 @@ fn main() {
     for drift in [0.0, 0.1, 0.25, 0.5] {
         let drifted = flow.test.with_drift(drift, 7);
         let acc = accuracy(
-            drifted.x.iter().map(|r| flow.qt.predict(&flow.fq.code_row(r))),
+            drifted
+                .x
+                .iter()
+                .map(|r| flow.qt.predict(&flow.fq.code_row(r))),
             drifted.y.iter().copied(),
         );
         println!("   drift {drift:>4.2} sigma: accuracy {acc:.3}");

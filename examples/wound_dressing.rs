@@ -52,7 +52,9 @@ fn main() {
     // Drive the serial engine cycle by cycle for one reading, the way the
     // dressing's sequencer would.
     let flow = TreeFlow::new(Application::Cardio, 4, 7);
-    let module = flow.module(TreeArch::BespokeSerial).expect("digital design");
+    let module = flow
+        .module(TreeArch::BespokeSerial)
+        .expect("digital design");
     let mut sim = Simulator::new(&module);
     let row = &flow.test.x[0];
     let codes = flow.fq.code_row(row);

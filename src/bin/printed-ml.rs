@@ -54,8 +54,9 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
                 flags.insert("svm".to_string(), "true".to_string());
                 i += 1;
             } else {
-                let value =
-                    args.get(i + 1).ok_or_else(|| format!("--{name} requires a value"))?;
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} requires a value"))?;
                 flags.insert(name.to_string(), value.clone());
                 i += 2;
             }
@@ -161,7 +162,10 @@ fn run() -> Result<(), String> {
                         println!("power: {}", r.feasibility());
                     } else {
                         let arch = parse_tree_arch(
-                            flags.get("arch").map(String::as_str).unwrap_or("bespoke-parallel"),
+                            flags
+                                .get("arch")
+                                .map(String::as_str)
+                                .unwrap_or("bespoke-parallel"),
                         )?;
                         let flow = TreeFlow::new(app, depth, 7);
                         println!(
@@ -186,7 +190,10 @@ fn run() -> Result<(), String> {
                             .ok_or("analog designs have no netlist; use `report`")?
                     } else {
                         let arch = parse_tree_arch(
-                            flags.get("arch").map(String::as_str).unwrap_or("bespoke-parallel"),
+                            flags
+                                .get("arch")
+                                .map(String::as_str)
+                                .unwrap_or("bespoke-parallel"),
                         )?;
                         TreeFlow::new(app, depth, 7)
                             .module(arch)

@@ -18,7 +18,9 @@
 //! * [`ml`] — datasets, classifiers, quantization, op counting;
 //! * [`analog`] — device models, analog comparators/crossbars, transients;
 //! * [`core`] (crate `printed-core`) — the classifier architecture
-//!   generators and end-to-end flows.
+//!   generators and end-to-end flows;
+//! * [`exec`] — the deterministic parallel execution substrate (work
+//!   pool, seed streams, PRNG) every Monte Carlo sweep runs on.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@
 //! the paper.
 
 pub use analog;
+pub use exec;
 pub use ml;
 pub use netlist;
 pub use pdk;

@@ -33,13 +33,22 @@ fn drift_degrades_accuracy_monotonically_on_gasid() {
     for drift in [0.0, 0.25, 0.5, 1.0] {
         let drifted = flow.test.with_drift(drift, 7);
         let acc = accuracy(
-            drifted.x.iter().map(|r| flow.qt.predict(&flow.fq.code_row(r))),
+            drifted
+                .x
+                .iter()
+                .map(|r| flow.qt.predict(&flow.fq.code_row(r))),
             drifted.y.iter().copied(),
         );
-        assert!(acc <= prev + 0.02, "drift {drift}: accuracy rose {prev} -> {acc}");
+        assert!(
+            acc <= prev + 0.02,
+            "drift {drift}: accuracy rose {prev} -> {acc}"
+        );
         prev = acc;
     }
-    assert!(prev < 0.85, "1-sigma drift should visibly hurt GasID ({prev})");
+    assert!(
+        prev < 0.85,
+        "1-sigma drift should visibly hurt GasID ({prev})"
+    );
 }
 
 #[test]
@@ -52,47 +61,52 @@ fn bent_corner_is_strictly_worse_but_functional() {
     let p1 = analyze(&module, &bent);
     assert!(p1.delay > p0.delay);
     assert!(p1.power > p0.power);
-    assert_eq!(p1.area.as_mm2(), p0.area.as_mm2(), "bending does not change area");
+    assert_eq!(
+        p1.area.as_mm2(),
+        p0.area.as_mm2(),
+        "bending does not change area"
+    );
 }
 
 #[test]
 fn lookup_forests_beat_lookup_single_trees_on_sharing() {
-    // The cross-tree decoder-sharing claim, at the flow level.
+    // The cross-tree decoder-sharing claim, at the flow level: building
+    // the members as one lookup forest (merged per-feature ROMs, one
+    // decoder each) must cost less ROM area than building them as
+    // separate lookup trees.
     let flow = ForestFlow::new(Application::Pendigits, 4, 7);
     let lib = CellLibrary::for_technology(Technology::Egt);
-    // Use a 4-bit forest for LUT-friendly widths.
+    // Use a 4-bit RF-8 forest: LUT-friendly widths, and eight √n-feature
+    // subsets over 16 features guarantee cross-tree feature overlap.
     let data = Application::Pendigits.generate(7);
     let (train, _) = data.split(0.7, 42);
     let forest = printed_ml::ml::forest::RandomForest::fit(
         &train,
-        printed_ml::ml::forest::ForestParams::paper(4),
+        printed_ml::ml::forest::ForestParams::paper(8),
     );
     let fq = printed_ml::ml::quant::FeatureQuantizer::fit(&train, 4);
     let qf = printed_ml::ml::quant::QuantizedForest::from_forest(&forest, &fq);
-    let bespoke = analyze(
-        &printed_ml::core::ensemble::forest_engine(&qf, ForestStyle::Bespoke),
-        &lib,
+    let shared = printed_ml::core::ensemble::forest_engine(
+        &qf,
+        ForestStyle::Lookup(LookupConfig::optimized()),
     );
-    let lookup = analyze(
-        &printed_ml::core::ensemble::forest_engine(
-            &qf,
-            ForestStyle::Lookup(LookupConfig::optimized()),
-        ),
-        &lib,
-    );
-    let forest_gain = bespoke.area.ratio(lookup.area);
-    // Single member tree, same width.
-    let single = qf.trees()[0].clone();
-    let single_bespoke =
-        analyze(&printed_ml::core::bespoke::bespoke_parallel(&single), &lib);
-    let single_lookup = analyze(
-        &printed_ml::core::lookup::lookup_parallel(&single, LookupConfig::optimized()),
-        &lib,
-    );
-    let single_gain = single_bespoke.area.ratio(single_lookup.area);
+    let shared_ppa = analyze(&shared, &lib);
+    let mut member_roms = 0usize;
+    let mut member_rom_area = printed_ml::pdk::Area::ZERO;
+    for single in qf.trees() {
+        let m = printed_ml::core::lookup::lookup_parallel(single, LookupConfig::optimized());
+        member_roms += m.roms.len();
+        member_rom_area += analyze(&m, &lib).rom_area;
+    }
     assert!(
-        forest_gain > single_gain,
-        "ensembles must amortize decoders better: forest {forest_gain} vs single {single_gain}"
+        shared.roms.len() < member_roms,
+        "ensembles must amortize decoders: forest has {} ROMs vs members' {member_roms}",
+        shared.roms.len()
+    );
+    assert!(
+        shared_ppa.rom_area < member_rom_area,
+        "ensembles must amortize ROM area: forest {} vs members {member_rom_area}",
+        shared_ppa.rom_area
     );
     let _ = flow;
 }
@@ -113,7 +127,10 @@ fn serial_svm_is_slower_and_thriftier_on_multipliers() {
     let (module, info) = serial_svm(&qs);
     let serial = analyze(&module, &lib);
     assert!(info.cycles > 1);
-    assert!(serial.latency(info.cycles) > parallel.latency(1), "serial must be slower");
+    assert!(
+        serial.latency(info.cycles) > parallel.latency(1),
+        "serial must be slower"
+    );
     assert!(
         serial.logic_area < parallel.logic_area,
         "one multiplier beats {} multipliers in logic: {} vs {}",

@@ -26,15 +26,30 @@ fn no_args_prints_usage() {
 fn list_names_all_seven_datasets() {
     let (stdout, _, ok) = run(&["list"]);
     assert!(ok);
-    for name in ["arrhythmia", "cardio", "gasid", "har", "pendigits", "redwine", "whitewine"] {
+    for name in [
+        "arrhythmia",
+        "cardio",
+        "gasid",
+        "har",
+        "pendigits",
+        "redwine",
+        "whitewine",
+    ] {
         assert!(stdout.contains(name), "missing {name}:\n{stdout}");
     }
 }
 
 #[test]
 fn report_prints_ppa_and_power_verdict() {
-    let (stdout, _, ok) =
-        run(&["report", "--app", "har", "--depth", "2", "--arch", "bespoke-parallel"]);
+    let (stdout, _, ok) = run(&[
+        "report",
+        "--app",
+        "har",
+        "--depth",
+        "2",
+        "--arch",
+        "bespoke-parallel",
+    ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("model: DT-2"));
     assert!(stdout.contains("power:"));
@@ -94,7 +109,14 @@ fn svm_report_works() {
 fn sweep_covers_all_architectures() {
     let (stdout, _, ok) = run(&["sweep", "--app", "har", "--depth", "2"]);
     assert!(ok);
-    for arch in ["conv-serial", "conv-parallel", "bespoke-serial", "bespoke-parallel", "lookup-opt", "analog"] {
+    for arch in [
+        "conv-serial",
+        "conv-parallel",
+        "bespoke-serial",
+        "bespoke-parallel",
+        "lookup-opt",
+        "analog",
+    ] {
         assert!(stdout.contains(arch), "missing {arch}:\n{stdout}");
     }
 }

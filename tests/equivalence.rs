@@ -28,7 +28,10 @@ fn bespoke_and_lookup_trees_are_logically_equivalent() {
             let total_bits: usize = bespoke.inputs.iter().map(|p| p.width()).sum();
             let verdict = check_equivalence(&bespoke, &lookup, 18, 3000);
             match verdict {
-                Equivalence::Equivalent { exhaustive, vectors } => {
+                Equivalence::Equivalent {
+                    exhaustive,
+                    vectors,
+                } => {
                     if total_bits <= 18 {
                         assert!(exhaustive, "{}: expected a full proof", app.name());
                     }
@@ -52,7 +55,11 @@ fn optimization_is_equivalence_preserving_on_real_designs() {
     let twice = optimize(&once);
     let verdict = check_equivalence(&once, &twice, 20, 5000);
     assert!(verdict.is_equivalent(), "{verdict:?}");
-    assert_eq!(once.gate_count(), twice.gate_count(), "optimize must be idempotent");
+    assert_eq!(
+        once.gate_count(),
+        twice.gate_count(),
+        "optimize must be idempotent"
+    );
 }
 
 #[test]
@@ -62,8 +69,14 @@ fn counterexamples_surface_real_divergence() {
     let a = bespoke_parallel(&small_tree(Application::Har, 2, 4));
     let b = bespoke_parallel(&small_tree(Application::Har, 4, 4));
     if a.inputs.len() == b.inputs.len()
-        && a.outputs.iter().zip(&b.outputs).all(|(x, y)| x.width() == y.width())
-        && a.inputs.iter().zip(&b.inputs).all(|(x, y)| x.width() == y.width())
+        && a.outputs
+            .iter()
+            .zip(&b.outputs)
+            .all(|(x, y)| x.width() == y.width())
+        && a.inputs
+            .iter()
+            .zip(&b.inputs)
+            .all(|(x, y)| x.width() == y.width())
     {
         let verdict = check_equivalence(&a, &b, 16, 4000);
         assert!(

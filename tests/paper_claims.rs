@@ -12,14 +12,14 @@ use printed_ml::core::LookupConfig;
 use printed_ml::ml::synth::Application;
 use printed_ml::pdk::Technology;
 
-fn mean_tree_improvement(
-    depths: &[usize],
-    arch: TreeArch,
-    baseline: TreeArch,
-) -> Improvement {
+fn mean_tree_improvement(depths: &[usize], arch: TreeArch, baseline: TreeArch) -> Improvement {
     let mut imps = Vec::new();
     for &depth in depths {
-        for app in [Application::Cardio, Application::Pendigits, Application::RedWine] {
+        for app in [
+            Application::Cardio,
+            Application::Pendigits,
+            Application::RedWine,
+        ] {
             let flow = TreeFlow::new(app, depth, 7);
             let b = flow.report(baseline, Technology::Egt);
             let t = flow.report(arch, Technology::Egt);
@@ -49,15 +49,25 @@ fn claim_mac_is_several_times_a_comparator_in_egt() {
     let power_ratio = get("MAC", 4) / get("Comparator", 4);
     let delay_ratio = get("MAC", 2) / get("Comparator", 2);
     assert!(area_ratio > 4.0 && area_ratio < 20.0, "area {area_ratio}");
-    assert!(power_ratio > 4.0 && power_ratio < 20.0, "power {power_ratio}");
-    assert!(delay_ratio > 1.5 && delay_ratio < 6.0, "delay {delay_ratio}");
+    assert!(
+        power_ratio > 4.0 && power_ratio < 20.0,
+        "power {power_ratio}"
+    );
+    assert!(
+        delay_ratio > 1.5 && delay_ratio < 6.0,
+        "delay {delay_ratio}"
+    );
 }
 
 #[test]
 fn claim_bespoke_parallel_wins_by_tens_of_x() {
     // Abstract: "bespoke implementation of EGT printed Decision Trees has
     // 48.9x lower area (average) and 75.6x lower power (average)".
-    let m = mean_tree_improvement(&[2, 4, 8], TreeArch::BespokeParallel, TreeArch::ConventionalParallel);
+    let m = mean_tree_improvement(
+        &[2, 4, 8],
+        TreeArch::BespokeParallel,
+        TreeArch::ConventionalParallel,
+    );
     assert!(m.area > 10.0 && m.area < 200.0, "area {}", m.area);
     assert!(m.power > 15.0 && m.power < 300.0, "power {}", m.power);
     assert!(m.delay > 1.0, "delay {}", m.delay);
@@ -67,7 +77,11 @@ fn claim_bespoke_parallel_wins_by_tens_of_x() {
 fn claim_bespoke_serial_improves_modestly() {
     // §IV-A: bespoke serial trees improve ~1.2% latency, 37% area, 22%
     // power — i.e. small-but-real, nothing like the parallel case.
-    let m = mean_tree_improvement(&[2, 4], TreeArch::BespokeSerial, TreeArch::ConventionalSerial);
+    let m = mean_tree_improvement(
+        &[2, 4],
+        TreeArch::BespokeSerial,
+        TreeArch::ConventionalSerial,
+    );
     assert!(m.area > 1.05 && m.area < 4.0, "area {}", m.area);
     assert!(m.power > 1.05 && m.power < 4.0, "power {}", m.power);
 }
@@ -91,20 +105,50 @@ fn claim_lookup_helps_deep_trees_only() {
     // §V-A: "in many cases, especially with shallow trees, there is not
     // enough input feature reuse for lookup tables to be useful. But, in
     // the best case, we see 13%, 38%, and 70% improvements."
-    let deep = mean_tree_improvement(&[8], TreeArch::Lookup(LookupConfig::optimized()), TreeArch::BespokeParallel);
-    let shallow = mean_tree_improvement(&[1], TreeArch::Lookup(LookupConfig::optimized()), TreeArch::BespokeParallel);
-    assert!(deep.area > shallow.area, "deep {} vs shallow {}", deep.area, shallow.area);
-    assert!(shallow.area < 1.0, "shallow lookup must lose: {}", shallow.area);
+    let deep = mean_tree_improvement(
+        &[8],
+        TreeArch::Lookup(LookupConfig::optimized()),
+        TreeArch::BespokeParallel,
+    );
+    let shallow = mean_tree_improvement(
+        &[1],
+        TreeArch::Lookup(LookupConfig::optimized()),
+        TreeArch::BespokeParallel,
+    );
+    assert!(
+        deep.area > shallow.area,
+        "deep {} vs shallow {}",
+        deep.area,
+        shallow.area
+    );
+    assert!(
+        shallow.area < 1.0,
+        "shallow lookup must lose: {}",
+        shallow.area
+    );
 }
 
 #[test]
 fn claim_lookup_optimizations_add_area_and_power() {
     // §V-A / Fig. 10: constant-column elimination + dot ROMs increase the
     // area benefit over plain lookup.
-    let base = mean_tree_improvement(&[8], TreeArch::Lookup(LookupConfig::baseline()), TreeArch::BespokeParallel);
-    let opt = mean_tree_improvement(&[8], TreeArch::Lookup(LookupConfig::optimized()), TreeArch::BespokeParallel);
+    let base = mean_tree_improvement(
+        &[8],
+        TreeArch::Lookup(LookupConfig::baseline()),
+        TreeArch::BespokeParallel,
+    );
+    let opt = mean_tree_improvement(
+        &[8],
+        TreeArch::Lookup(LookupConfig::optimized()),
+        TreeArch::BespokeParallel,
+    );
     assert!(opt.area > base.area, "opt {} base {}", opt.area, base.area);
-    assert!(opt.power >= base.power, "opt {} base {}", opt.power, base.power);
+    assert!(
+        opt.power >= base.power,
+        "opt {} base {}",
+        opt.power,
+        base.power
+    );
 }
 
 #[test]
@@ -153,7 +197,11 @@ fn claim_analog_svms_win_hundreds_of_x_in_area() {
     let m = Improvement::mean(&imps);
     assert!(m.area > 100.0, "area {}", m.area);
     assert!(m.power > 5.0, "power {}", m.power);
-    assert!(m.delay < 1.2, "analog should not be much faster: {}", m.delay);
+    assert!(
+        m.delay < 1.2,
+        "analog should not be much faster: {}",
+        m.delay
+    );
 }
 
 #[test]
@@ -163,7 +211,10 @@ fn claim_conventional_designs_exceed_printed_power_sources() {
     let flow = TreeFlow::new(Application::Pendigits, 8, 7);
     let conv = flow.report(TreeArch::ConventionalParallel, Technology::Egt);
     assert!(!conv.feasibility().is_powerable(), "{}", conv.power);
-    let analog = flow.report(TreeArch::Analog(AnalogTreeConfig::default()), Technology::Egt);
+    let analog = flow.report(
+        TreeArch::Analog(AnalogTreeConfig::default()),
+        Technology::Egt,
+    );
     assert!(analog.feasibility().is_powerable(), "{}", analog.power);
 }
 

@@ -6,8 +6,13 @@
 //! * quantization is monotone;
 //! * constant multipliers agree with integer multiplication for any
 //!   coefficient.
+//!
+//! Each property runs over a fixed batch of pseudo-random cases drawn
+//! from per-case deterministic seed streams (`exec::task_seed`), so a
+//! failure reproduces exactly from the printed case index.
 
-use proptest::prelude::*;
+use exec::rng::StdRng;
+use exec::task_seed;
 
 use printed_ml::core::bespoke::{bespoke_parallel, bespoke_svm};
 use printed_ml::core::lookup::{lookup_parallel, LookupConfig};
@@ -20,43 +25,74 @@ use printed_ml::netlist::ir::Signal;
 use printed_ml::netlist::{optimize, Simulator};
 use printed_ml::pdk::CellKind;
 
-/// Strategy: a small random labelled dataset (2-4 features, 2-4 classes).
-fn dataset_strategy() -> impl Strategy<Value = Dataset> {
-    (2usize..=4, 2usize..=4, 20usize..=60, any::<u64>()).prop_map(
-        |(n_features, n_classes, n_samples, seed)| {
-            // Simple deterministic pseudo-random generator (no Date/rand
-            // state shared with the library under test).
-            let mut state = seed | 1;
-            let mut next = move || {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state >> 11) as f64 / (1u64 << 53) as f64
-            };
-            let mut x = Vec::with_capacity(n_samples);
-            let mut y = Vec::with_capacity(n_samples);
-            for _ in 0..n_samples {
-                let label = (next() * n_classes as f64) as usize % n_classes;
-                let row: Vec<f64> = (0..n_features)
-                    .map(|f| next() * 4.0 - 2.0 + (label as f64) * 0.4 * ((f % 2) as f64))
-                    .collect();
-                x.push(row);
-                y.push(label);
-            }
-            Dataset::new("prop", x, y, n_classes)
-        },
-    )
+/// Runs `check` on `cases` deterministic pseudo-random cases.
+fn cases(root: u64, count: u64, mut check: impl FnMut(u64, &mut StdRng)) {
+    for i in 0..count {
+        let mut rng = StdRng::seed_from_u64(task_seed(root, i));
+        check(i, &mut rng);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// A small random labelled dataset (2-4 features, 2-4 classes).
+fn random_dataset(rng: &mut StdRng) -> Dataset {
+    let n_features = rng.gen_range(2usize..=4);
+    let n_classes = rng.gen_range(2usize..=4);
+    let n_samples = rng.gen_range(20usize..=60);
+    let mut x = Vec::with_capacity(n_samples);
+    let mut y = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let label = rng.gen_range(0usize..n_classes);
+        let row: Vec<f64> = (0..n_features)
+            .map(|f| rng.gen_range(-2.0f64..2.0) + (label as f64) * 0.4 * ((f % 2) as f64))
+            .collect();
+        x.push(row);
+        y.push(label);
+    }
+    Dataset::new("prop", x, y, n_classes)
+}
 
-    #[test]
-    fn bespoke_parallel_equals_model_on_random_datasets(
-        data in dataset_strategy(),
-        depth in 1usize..=4,
-        bits in 3usize..=8,
-    ) {
+/// A random combinational DAG mixing constants and nets.
+fn random_circuit(
+    rng: &mut StdRng,
+    n_gates: usize,
+    n_inputs: usize,
+    n_outputs: usize,
+) -> printed_ml::netlist::Module {
+    let mut b = NetlistBuilder::new("random");
+    let inputs = b.input("x", n_inputs);
+    let mut pool: Vec<Signal> = inputs.clone();
+    pool.push(Signal::ZERO);
+    pool.push(Signal::ONE);
+    let kinds = [
+        CellKind::Inv,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+        CellKind::Buf,
+    ];
+    for _ in 0..n_gates {
+        let kind = kinds[rng.gen_range(0usize..kinds.len())];
+        let ins: Vec<Signal> = (0..kind.input_count())
+            .map(|_| pool[rng.gen_range(0usize..pool.len())])
+            .collect();
+        let out = b.gate(kind, &ins);
+        pool.push(out);
+    }
+    let outs: Vec<Signal> = pool.iter().rev().take(n_outputs).copied().collect();
+    b.output("o", &outs);
+    b.finish()
+}
+
+#[test]
+fn bespoke_parallel_equals_model_on_random_datasets() {
+    cases(0xB15_0001, 24, |case, rng| {
+        let data = random_dataset(rng);
+        let depth = rng.gen_range(1usize..=4);
+        let bits = rng.gen_range(3usize..=8);
         let tree = DecisionTree::fit(&data, TreeParams::with_depth(depth));
         let fq = FeatureQuantizer::fit(&data, bits);
         let qt = QuantizedTree::from_tree(&tree, &fq);
@@ -69,15 +105,16 @@ proptest! {
                 sim.set(&format!("f{slot}"), codes[f]);
             }
             sim.settle();
-            prop_assert_eq!(sim.get("class") as usize, qt.predict(&codes));
+            assert_eq!(sim.get("class") as usize, qt.predict(&codes), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn lookup_tree_equals_model_on_random_datasets(
-        data in dataset_strategy(),
-        depth in 1usize..=4,
-    ) {
+#[test]
+fn lookup_tree_equals_model_on_random_datasets() {
+    cases(0xB15_0002, 24, |case, rng| {
+        let data = random_dataset(rng);
+        let depth = rng.gen_range(1usize..=4);
         let tree = DecisionTree::fit(&data, TreeParams::with_depth(depth));
         let fq = FeatureQuantizer::fit(&data, 4);
         let qt = QuantizedTree::from_tree(&tree, &fq);
@@ -90,12 +127,15 @@ proptest! {
                 sim.set(&format!("f{slot}"), codes[f]);
             }
             sim.settle();
-            prop_assert_eq!(sim.get("class") as usize, qt.predict(&codes));
+            assert_eq!(sim.get("class") as usize, qt.predict(&codes), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn bespoke_svm_equals_model_on_random_datasets(data in dataset_strategy()) {
+#[test]
+fn bespoke_svm_equals_model_on_random_datasets() {
+    cases(0xB15_0003, 24, |case, rng| {
+        let data = random_dataset(rng);
         let svm = SvmRegressor::fit(&data, 60, 1e-3);
         let fq = FeatureQuantizer::fit(&data, 6);
         let qs = QuantizedSvm::from_svm(&svm, &fq);
@@ -107,56 +147,22 @@ proptest! {
                 sim.set(&format!("x{f}"), codes[f]);
             }
             sim.settle();
-            prop_assert_eq!(sim.get("class") as usize, qs.predict(&codes));
+            assert_eq!(sim.get("class") as usize, qs.predict(&codes), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn optimizer_preserves_function_of_random_circuits(
-        seed in any::<u64>(),
-        n_gates in 4usize..40,
-        n_inputs in 2usize..6,
-    ) {
-        // Build a random combinational DAG mixing constants and nets.
-        let mut b = NetlistBuilder::new("random");
-        let inputs = b.input("x", n_inputs);
-        let mut pool: Vec<Signal> = inputs.clone();
-        pool.push(Signal::ZERO);
-        pool.push(Signal::ONE);
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        for _ in 0..n_gates {
-            let kinds = [
-                CellKind::Inv,
-                CellKind::And2,
-                CellKind::Or2,
-                CellKind::Nand2,
-                CellKind::Nor2,
-                CellKind::Xor2,
-                CellKind::Xnor2,
-                CellKind::Mux2,
-                CellKind::Buf,
-            ];
-            let kind = kinds[(next() % kinds.len() as u64) as usize];
-            let pick = |n: &mut dyn FnMut() -> u64, pool: &[Signal]| {
-                pool[(n() % pool.len() as u64) as usize]
-            };
-            let ins: Vec<Signal> =
-                (0..kind.input_count()).map(|_| pick(&mut next, &pool)).collect();
-            let out = b.gate(kind, &ins);
-            pool.push(out);
-        }
-        // Observe the last few signals.
-        let outs: Vec<Signal> = pool.iter().rev().take(4).copied().collect();
-        b.output("o", &outs);
-        let original = b.finish();
+#[test]
+fn optimizer_preserves_function_of_random_circuits() {
+    cases(0xB15_0004, 24, |case, rng| {
+        let n_gates = rng.gen_range(4usize..40);
+        let n_inputs = rng.gen_range(2usize..6);
+        let original = random_circuit(rng, n_gates, n_inputs, 4);
         let optimized = optimize(&original);
-        prop_assert!(optimized.gate_count() <= original.gate_count());
+        assert!(
+            optimized.gate_count() <= original.gate_count(),
+            "case {case}"
+        );
         let mut s0 = Simulator::new(&original);
         let mut s1 = Simulator::new(&optimized);
         for v in 0..(1u64 << n_inputs) {
@@ -164,15 +170,17 @@ proptest! {
             s1.set("x", v);
             s0.settle();
             s1.settle();
-            prop_assert_eq!(s0.get("o"), s1.get("o"), "input {}", v);
+            assert_eq!(s0.get("o"), s1.get("o"), "case {case} input {v}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn quantizer_is_monotone_and_bounded(
-        values in proptest::collection::vec(-1e3f64..1e3, 10..40),
-        bits in 2usize..=12,
-    ) {
+#[test]
+fn quantizer_is_monotone_and_bounded() {
+    cases(0xB15_0005, 24, |case, rng| {
+        let n_values = rng.gen_range(10usize..40);
+        let bits = rng.gen_range(2usize..=12);
+        let values: Vec<f64> = (0..n_values).map(|_| rng.gen_range(-1e3f64..1e3)).collect();
         let rows: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
         let labels = vec![0usize; rows.len()];
         let data = Dataset::new("q", rows, labels, 1);
@@ -181,19 +189,23 @@ proptest! {
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let codes: Vec<u64> = sorted.iter().map(|&v| fq.code(0, v)).collect();
         for pair in codes.windows(2) {
-            prop_assert!(pair[0] <= pair[1], "quantizer must be monotone");
+            assert!(
+                pair[0] <= pair[1],
+                "case {case}: quantizer must be monotone"
+            );
         }
-        prop_assert!(codes.iter().all(|&c| c <= fq.max_code()));
+        assert!(codes.iter().all(|&c| c <= fq.max_code()), "case {case}");
         // Extremes hit the rails.
-        prop_assert_eq!(codes[0], 0);
-        prop_assert_eq!(*codes.last().unwrap(), fq.max_code());
-    }
+        assert_eq!(codes[0], 0, "case {case}");
+        assert_eq!(*codes.last().unwrap(), fq.max_code(), "case {case}");
+    });
+}
 
-    #[test]
-    fn const_multiplier_is_exact_for_any_coefficient(
-        k in 0u64..1000,
-        x in 0u64..256,
-    ) {
+#[test]
+fn const_multiplier_is_exact_for_any_coefficient() {
+    cases(0xB15_0006, 40, |case, rng| {
+        let k = rng.gen_range(0u64..1000);
+        let x = rng.gen_range(0u64..256);
         let mut b = NetlistBuilder::new("cm");
         let xin = b.input("x", 8);
         let p = const_multiply(&mut b, &xin, k);
@@ -204,54 +216,17 @@ proptest! {
         sim.settle();
         let width = m.output("p").unwrap().width().min(63);
         let mask = (1u64 << width) - 1;
-        prop_assert_eq!(sim.get("p"), (x * k) & mask);
-    }
+        assert_eq!(sim.get("p"), (x * k) & mask, "case {case}: k={k} x={x}");
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn batch_simulator_matches_scalar_on_random_circuits(
-        seed in any::<u64>(),
-        n_gates in 4usize..30,
-        n_inputs in 2usize..6,
-    ) {
-        use printed_ml::netlist::BatchSimulator;
-        let mut b = NetlistBuilder::new("random");
-        let inputs = b.input("x", n_inputs);
-        let mut pool: Vec<Signal> = inputs.clone();
-        pool.push(Signal::ZERO);
-        pool.push(Signal::ONE);
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        for _ in 0..n_gates {
-            let kinds = [
-                CellKind::Inv,
-                CellKind::And2,
-                CellKind::Or2,
-                CellKind::Nand2,
-                CellKind::Nor2,
-                CellKind::Xor2,
-                CellKind::Xnor2,
-                CellKind::Mux2,
-                CellKind::Buf,
-            ];
-            let kind = kinds[(next() % kinds.len() as u64) as usize];
-            let ins: Vec<Signal> = (0..kind.input_count())
-                .map(|_| pool[(next() % pool.len() as u64) as usize])
-                .collect();
-            let out = b.gate(kind, &ins);
-            pool.push(out);
-        }
-        let outs: Vec<Signal> = pool.iter().rev().take(3).copied().collect();
-        b.output("o", &outs);
-        let m = b.finish();
+#[test]
+fn batch_simulator_matches_scalar_on_random_circuits() {
+    use printed_ml::netlist::BatchSimulator;
+    cases(0xB15_0007, 16, |case, rng| {
+        let n_gates = rng.gen_range(4usize..30);
+        let n_inputs = rng.gen_range(2usize..6);
+        let m = random_circuit(rng, n_gates, n_inputs, 3);
         let vectors: Vec<u64> = (0..(1u64 << n_inputs)).collect();
         let mut batch = BatchSimulator::new(&m);
         batch.set_lanes("x", &vectors);
@@ -261,18 +236,25 @@ proptest! {
         for (lane, &v) in vectors.iter().enumerate() {
             scalar.set("x", v);
             scalar.settle();
-            prop_assert_eq!(got[lane], scalar.get("o"), "v={}", v);
+            assert_eq!(got[lane], scalar.get("o"), "case {case} v={v}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn forest_hardware_matches_model_on_random_datasets(data in dataset_strategy()) {
-        use printed_ml::core::bespoke_forest;
-        use printed_ml::ml::forest::{ForestParams, RandomForest};
-        use printed_ml::ml::quant::QuantizedForest;
+#[test]
+fn forest_hardware_matches_model_on_random_datasets() {
+    use printed_ml::core::bespoke_forest;
+    use printed_ml::ml::forest::{ForestParams, RandomForest};
+    use printed_ml::ml::quant::QuantizedForest;
+    cases(0xB15_0008, 16, |case, rng| {
+        let data = random_dataset(rng);
         let forest = RandomForest::fit(
             &data,
-            ForestParams { n_trees: 3, tree: TreeParams::with_depth(3), seed: 5 },
+            ForestParams {
+                n_trees: 3,
+                tree: TreeParams::with_depth(3),
+                seed: 5,
+            },
         );
         let fq = FeatureQuantizer::fit(&data, 5);
         let qf = QuantizedForest::from_forest(&forest, &fq);
@@ -284,16 +266,17 @@ proptest! {
                 sim.set(&format!("f{f}"), codes[f]);
             }
             sim.settle();
-            prop_assert_eq!(sim.get("class") as usize, qf.predict(&codes));
+            assert_eq!(sim.get("class") as usize, qf.predict(&codes), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn serial_tree_matches_parallel_tree_on_random_datasets(
-        data in dataset_strategy(),
-        depth in 1usize..=3,
-    ) {
-        use printed_ml::core::bespoke::bespoke_serial;
+#[test]
+fn serial_tree_matches_parallel_tree_on_random_datasets() {
+    use printed_ml::core::bespoke::bespoke_serial;
+    cases(0xB15_0009, 16, |case, rng| {
+        let data = random_dataset(rng);
+        let depth = rng.gen_range(1usize..=3);
         let tree = DecisionTree::fit(&data, TreeParams::with_depth(depth));
         let fq = FeatureQuantizer::fit(&data, 4);
         let qt = QuantizedTree::from_tree(&tree, &fq);
@@ -316,7 +299,7 @@ proptest! {
                 ssim.step();
             }
             ssim.settle();
-            prop_assert_eq!(psim.get("class"), ssim.get("class"));
+            assert_eq!(psim.get("class"), ssim.get("class"), "case {case}");
         }
-    }
+    });
 }

@@ -49,7 +49,12 @@ fn design_reports_serialize_for_tooling() {
     let report = flow.report(TreeArch::BespokeParallel, Technology::Egt);
     let json = serde_json::to_string_pretty(&report).unwrap();
     let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-    assert!(v["area"].is_number() || v["area"].is_object() || v["area"].is_f64() || !v["area"].is_null());
+    assert!(
+        v["area"].is_number()
+            || v["area"].is_object()
+            || v["area"].is_f64()
+            || !v["area"].is_null()
+    );
     assert_eq!(v["technology"], "Egt");
     assert!(v["gate_count"].as_u64().unwrap() > 0);
 }
@@ -74,15 +79,27 @@ fn emitted_verilog_is_structurally_sane_for_every_architecture() {
             "{arch:?}"
         );
         // Every case has a default and an endcase.
-        assert_eq!(v.matches("case (").count(), v.matches("endcase").count(), "{arch:?}");
-        assert_eq!(v.matches("case (").count(), v.matches("default:").count(), "{arch:?}");
+        assert_eq!(
+            v.matches("case (").count(),
+            v.matches("endcase").count(),
+            "{arch:?}"
+        );
+        assert_eq!(
+            v.matches("case (").count(),
+            v.matches("default:").count(),
+            "{arch:?}"
+        );
         // Sequential designs declare the clock they use.
         if !module.is_combinational() {
             assert!(v.contains("input wire clk"), "{arch:?}");
         }
         // Every input port appears in the body.
         for p in &module.inputs {
-            assert!(v.contains(&format!("{}[", p.name)), "{arch:?} missing port {}", p.name);
+            assert!(
+                v.contains(&format!("{}[", p.name)),
+                "{arch:?} missing port {}",
+                p.name
+            );
         }
     }
 }
