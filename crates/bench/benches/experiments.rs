@@ -196,7 +196,7 @@ fn main() {
         });
         let optimized = optimize(&module);
         bench(&filter, "verify_equivalence_sampled", || {
-            black_box(netlist::check_equivalence(&module, &optimized, 8, 128));
+            black_box(netlist::check_equivalence(&module, &optimized, 8, 128).expect("ports"));
         });
     }
 

@@ -1,0 +1,32 @@
+//! Wall-clock benchmark of the verification hot paths: stuck-at fault
+//! grading and miter equivalence checking over the Table-VII-style
+//! workload (bespoke depth-4 trees fed their own test-set vectors).
+//!
+//! Prints faults/sec and vectors/sec so before/after numbers for the
+//! lane-parallel verification engine are one `cargo run` away:
+//!
+//! ```text
+//! cargo run --release -p bench --bin fault_bench
+//! ```
+
+use bench::workloads::{tree_test_vectors, SEED};
+use ml::synth::Application;
+use printed_core::flow::{TreeArch, TreeFlow};
+
+fn main() {
+    for app in [Application::Har, Application::Cardio] {
+        let flow = TreeFlow::new(app, 4, SEED);
+        let module = flow.module(TreeArch::BespokeParallel).expect("digital");
+        let vectors = tree_test_vectors(&flow, 150);
+        let (cov, secs) = exec::time(|| netlist::fault_coverage(&module, &vectors));
+        println!(
+            "{}: {} faults x {} vectors in {:.3}s ({:.0} faults/sec), coverage {:.3}",
+            app.name(),
+            cov.total,
+            vectors.len(),
+            secs,
+            cov.total as f64 / secs,
+            cov.coverage(),
+        );
+    }
+}

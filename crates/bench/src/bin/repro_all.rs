@@ -14,8 +14,12 @@
 //!   machine's hardware parallelism);
 //! - `--smoke` — run every experiment over reduced workloads (CI's
 //!   end-to-end harness check);
-//! - `--json PATH` — write the report (thread count, smoke flag, and
-//!   per-experiment wall-clock seconds plus tables) to `PATH`.
+//! - `--verify` — append the equivalence/fault-grading sign-off stage
+//!   (see [`bench::verify`]); the process exits nonzero if any
+//!   architecture disagrees with its unoptimized reference;
+//! - `--json PATH` — write the report (thread count, smoke flag,
+//!   per-experiment wall-clock seconds plus tables, and the `--verify`
+//!   section when requested) to `PATH`.
 
 use serde::Serialize;
 
@@ -40,22 +44,26 @@ struct Report {
     threads: usize,
     smoke: bool,
     experiments: Vec<ExperimentResult>,
+    /// Sign-off outcomes (present with `--verify`).
+    verify: Option<bench::verify::VerifyReport>,
 }
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: repro_all [--threads N] [--smoke] [--json PATH]");
+    eprintln!("usage: repro_all [--threads N] [--smoke] [--verify] [--json PATH]");
     std::process::exit(2);
 }
 
 fn main() {
     let mut smoke = false;
+    let mut verify = false;
     let mut json_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
+            "--verify" => verify = true,
             "--threads" => {
                 i += 1;
                 let Some(n) = args.get(i).and_then(|v| v.parse().ok()).filter(|&n| n > 0) else {
@@ -119,11 +127,23 @@ fn main() {
             tables,
         });
     }
+    let verify_report = if verify {
+        let ((tables, report), seconds) = exec::time(bench::verify::run_verify);
+        eprintln!("[repro] verify finished in {seconds:.2}s");
+        for t in &tables {
+            print!("{t}");
+        }
+        Some(report)
+    } else {
+        None
+    };
+
     if let Some(path) = json_path {
         let report = Report {
             threads,
             smoke,
             experiments: results,
+            verify: verify_report.clone(),
         };
         let body = serde_json::to_string_pretty(&report).expect("serialize report");
         if let Err(err) = std::fs::write(&path, body) {
@@ -131,5 +151,20 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote {path}");
+    }
+    if let Some(v) = &verify_report {
+        if !v.passed() {
+            eprintln!(
+                "error: verification found {} failing sign-off check(s)",
+                v.counter_examples
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[repro] verify: all {} sign-off checks passed ({:.0} vectors/sec, {:.0} faults/sec)",
+            v.equivalence.len(),
+            v.vectors_per_sec,
+            v.faults_per_sec
+        );
     }
 }

@@ -463,27 +463,7 @@ pub fn fault_coverage_analysis() -> Table {
     for app in [Application::Har, Application::Cardio] {
         let flow = TreeFlow::new(app, 4, SEED);
         let module = flow.module(TreeArch::BespokeParallel).expect("digital");
-        let used = flow.qt.used_features();
-        // Real test rows exercise the trained decision paths, plus per-
-        // feature min/max corners to toggle every comparator.
-        let mut vectors: Vec<Vec<u64>> = flow
-            .test
-            .x
-            .iter()
-            .take(row_cap(150))
-            .map(|row| {
-                let codes = flow.fq.code_row(row);
-                used.iter().map(|&f| codes[f]).collect()
-            })
-            .collect();
-        let max_code = (1u64 << flow.choice.bits) - 1;
-        for f in 0..used.len() {
-            for corner in [0, max_code] {
-                let mut v: Vec<u64> = vec![max_code / 2; used.len()];
-                v[f] = corner;
-                vectors.push(v);
-            }
-        }
+        let vectors = crate::workloads::tree_test_vectors(&flow, row_cap(150));
         let cov = netlist::fault_coverage(&module, &vectors);
         t.row(vec![
             app.name().into(),

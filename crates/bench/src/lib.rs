@@ -16,6 +16,7 @@
 use std::fmt;
 
 pub mod experiments;
+pub mod verify;
 pub mod workloads;
 
 /// A rendered results table.

@@ -98,6 +98,35 @@ pub fn quick_apps() -> [Application; 3] {
     [Application::Har, Application::Cardio, Application::RedWine]
 }
 
+/// The Table-VII-style manufacturing-test stimulus for a tree workload:
+/// up to `rows` real test-set rows (they exercise the trained decision
+/// paths) plus per-feature min/max corner vectors (they toggle every
+/// comparator). Shared by the fault-coverage ablation, the `--verify`
+/// fault-grading stage and the `fault_bench` binary so they all grade the
+/// same vector set.
+pub fn tree_test_vectors(flow: &TreeFlow, rows: usize) -> Vec<Vec<u64>> {
+    let used = flow.qt.used_features();
+    let mut vectors: Vec<Vec<u64>> = flow
+        .test
+        .x
+        .iter()
+        .take(rows)
+        .map(|row| {
+            let codes = flow.fq.code_row(row);
+            used.iter().map(|&f| codes[f]).collect()
+        })
+        .collect();
+    let max_code = (1u64 << flow.choice.bits) - 1;
+    for f in 0..used.len() {
+        for corner in [0, max_code] {
+            let mut v: Vec<u64> = vec![max_code / 2; used.len()];
+            v[f] = corner;
+            vectors.push(v);
+        }
+    }
+    vectors
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

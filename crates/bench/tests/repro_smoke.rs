@@ -1,7 +1,8 @@
 //! End-to-end check of the `repro_all` orchestrator in smoke mode: the
-//! binary must exit cleanly, and its `--json` report must parse and
-//! cover every one of the 17 experiments. This is the same contract the
-//! CI smoke job enforces on the release binary.
+//! binary must exit cleanly, its `--json` report must parse and cover
+//! every one of the 17 experiments, and the `--verify` sign-off section
+//! must record zero counter-examples. This is the same contract the CI
+//! smoke job enforces on the release binary.
 
 use std::process::Command;
 
@@ -29,7 +30,7 @@ const EXPECTED: [&str; 17] = [
 fn smoke_report_parses_and_covers_every_experiment() {
     let out_path = std::env::temp_dir().join("printed_ml_repro_smoke.json");
     let output = Command::new(env!("CARGO_BIN_EXE_repro_all"))
-        .args(["--smoke", "--threads", "2", "--json"])
+        .args(["--smoke", "--threads", "2", "--verify", "--json"])
         .arg(&out_path)
         .output()
         .expect("run repro_all");
@@ -58,6 +59,29 @@ fn smoke_report_parses_and_covers_every_experiment() {
         assert!(seconds >= 0.0);
         let tables = e.get("tables").and_then(|v| v.as_array()).expect("tables");
         assert!(!tables.is_empty(), "experiment produced no tables");
+    }
+
+    // The --verify sign-off section: every equivalence check passed and
+    // both throughput metrics were recorded.
+    let verify = report.get("verify").expect("verify section");
+    assert_eq!(
+        verify.get("counter_examples").and_then(|v| v.as_u64()),
+        Some(0),
+        "sign-off found counter-examples: {verify}"
+    );
+    let equivalence = verify
+        .get("equivalence")
+        .and_then(|v| v.as_array())
+        .expect("equivalence records");
+    assert!(!equivalence.is_empty());
+    let fault_grading = verify
+        .get("fault_grading")
+        .and_then(|v| v.as_array())
+        .expect("fault grading records");
+    assert!(!fault_grading.is_empty());
+    for key in ["vectors_per_sec", "faults_per_sec"] {
+        let rate = verify.get(key).and_then(|v| v.as_f64()).expect(key);
+        assert!(rate > 0.0, "{key} not recorded");
     }
 }
 

@@ -10,6 +10,6 @@ pub mod parallel_tree;
 pub mod serial_tree;
 pub mod svm;
 
-pub use parallel_tree::bespoke_parallel;
+pub use parallel_tree::{bespoke_parallel, bespoke_parallel_raw};
 pub use serial_tree::{bespoke_serial, bespoke_spec};
-pub use svm::bespoke_svm;
+pub use svm::{bespoke_svm, bespoke_svm_raw};

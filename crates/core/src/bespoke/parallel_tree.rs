@@ -28,6 +28,13 @@ fn ceil_log2(n: usize) -> usize {
 /// Ports: `f{slot}` for each *used* feature (slot order =
 /// [`QuantizedTree::used_features`] order) and the `class` output.
 pub fn bespoke_parallel(tree: &QuantizedTree) -> Module {
+    optimize(&bespoke_parallel_raw(tree))
+}
+
+/// The unoptimized bespoke parallel tree — the sign-off *reference*: the
+/// `--verify` flow equivalence-checks [`bespoke_parallel`]'s rewritten
+/// netlist against this structural original.
+pub fn bespoke_parallel_raw(tree: &QuantizedTree) -> Module {
     let mut b = NetlistBuilder::new("bespoke_parallel_tree");
     let used = tree.used_features();
     let feature_ports: Vec<Vec<Signal>> = used
@@ -74,7 +81,7 @@ pub fn bespoke_parallel(tree: &QuantizedTree) -> Module {
     }
     let class = emit(&mut b, tree, 0, &feature_ports, &slot_of, class_bits);
     b.output("class", &class);
-    optimize(&b.finish())
+    b.finish()
 }
 
 #[cfg(test)]

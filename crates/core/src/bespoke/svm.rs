@@ -25,6 +25,13 @@ use crate::conventional::svm::popcount;
 /// (`f` = original feature index), outputs `class` and the raw thermometer
 /// bits `therm`.
 pub fn bespoke_svm(svm: &QuantizedSvm) -> Module {
+    optimize(&bespoke_svm_raw(svm))
+}
+
+/// The unoptimized bespoke SVM engine — the sign-off *reference* the
+/// `--verify` flow equivalence-checks [`bespoke_svm`]'s rewritten netlist
+/// against.
+pub fn bespoke_svm_raw(svm: &QuantizedSvm) -> Module {
     let mut b = NetlistBuilder::new("bespoke_svm");
     let width = svm.bits();
 
@@ -111,7 +118,7 @@ pub fn bespoke_svm(svm: &QuantizedSvm) -> Module {
         therm
     };
     b.output("therm", &therm_out);
-    optimize(&b.finish())
+    b.finish()
 }
 
 #[cfg(test)]

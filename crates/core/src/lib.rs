@@ -46,6 +46,7 @@ pub mod flow;
 pub mod lookup;
 pub mod powerfit;
 pub mod report;
+pub mod signoff;
 pub mod system;
 
 pub use bitwidth::{choose_svm_width, choose_tree_width, WidthChoice, WIDTHS};
@@ -56,4 +57,5 @@ pub use extension::{serial_svm, SerialSvmInfo};
 pub use flow::{ForestFlow, SvmArch, SvmFlow, TreeArch, TreeFlow};
 pub use lookup::LookupConfig;
 pub use report::{report_from_ppa, DesignReport, Improvement};
+pub use signoff::{signoff_pair, SignoffRecord, SignoffStatus};
 pub use system::{Adc, ClassifierSystem, FeatureExtraction, Sensor};

@@ -18,8 +18,8 @@
 pub mod svm;
 pub mod tree;
 
-pub use svm::lookup_svm;
-pub use tree::lookup_parallel;
+pub use svm::{lookup_svm, lookup_svm_raw};
+pub use tree::{lookup_parallel, lookup_parallel_raw};
 
 use netlist::builder::NetlistBuilder;
 use netlist::ir::Signal;

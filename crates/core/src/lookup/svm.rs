@@ -23,6 +23,13 @@ use crate::conventional::svm::popcount;
 /// Ports match [`crate::bespoke::svm::bespoke_svm`]: `x{f}` inputs,
 /// `class` and `therm` outputs.
 pub fn lookup_svm(svm: &QuantizedSvm, config: LookupConfig) -> Module {
+    optimize(&lookup_svm_raw(svm, config))
+}
+
+/// The unoptimized lookup-based SVM engine — the sign-off *reference* the
+/// `--verify` flow equivalence-checks [`lookup_svm`]'s rewritten netlist
+/// against.
+pub fn lookup_svm_raw(svm: &QuantizedSvm, config: LookupConfig) -> Module {
     let mut b = NetlistBuilder::new("lookup_svm");
     let width = svm.bits();
     let words = 1usize << width;
@@ -110,7 +117,7 @@ pub fn lookup_svm(svm: &QuantizedSvm, config: LookupConfig) -> Module {
         therm
     };
     b.output("therm", &therm_out);
-    optimize(&b.finish())
+    b.finish()
 }
 
 #[cfg(test)]

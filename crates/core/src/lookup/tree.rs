@@ -30,6 +30,13 @@ fn ceil_log2(n: usize) -> usize {
 /// [`crate::bespoke::parallel_tree::bespoke_parallel`]: `f{slot}` per used
 /// feature and a `class` output.
 pub fn lookup_parallel(tree: &QuantizedTree, config: LookupConfig) -> Module {
+    optimize(&lookup_parallel_raw(tree, config))
+}
+
+/// The unoptimized lookup-based parallel tree — the sign-off *reference*
+/// the `--verify` flow equivalence-checks [`lookup_parallel`]'s rewritten
+/// netlist against.
+pub fn lookup_parallel_raw(tree: &QuantizedTree, config: LookupConfig) -> Module {
     let mut b = NetlistBuilder::new("lookup_parallel_tree");
     let used = tree.used_features();
     let feature_ports: Vec<Vec<Signal>> = used
@@ -101,7 +108,7 @@ pub fn lookup_parallel(tree: &QuantizedTree, config: LookupConfig) -> Module {
     }
     let class = emit(&mut b, tree, 0, &decision, class_bits);
     b.output("class", &class);
-    optimize(&b.finish())
+    b.finish()
 }
 
 #[cfg(test)]

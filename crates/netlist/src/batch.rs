@@ -13,6 +13,15 @@ use pdk::CellKind;
 
 use crate::ir::{Module, NetId, Signal};
 
+/// A word with the first `lanes` bits set (`lanes <= 64`).
+fn lane_mask(lanes: usize) -> u64 {
+    if lanes >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
 /// A 64-lane combinational batch simulator.
 ///
 /// ```
@@ -39,6 +48,13 @@ pub struct BatchSimulator<'m> {
     order: Vec<usize>,
     rom_order: Vec<(usize, usize)>,
     input_ports: HashMap<String, Vec<NetId>>,
+    /// All input-port nets flattened in port-major, bit-minor order (the
+    /// layout [`Self::pack_vectors`] / [`Self::load_packed`] use).
+    input_nets: Vec<NetId>,
+    /// In-place stuck-at fault: index of the forced net (`usize::MAX` when
+    /// fault-free) and the lane word it is pinned to.
+    fault_net: usize,
+    fault_word: u64,
 }
 
 impl<'m> BatchSimulator<'m> {
@@ -124,7 +140,7 @@ impl<'m> BatchSimulator<'m> {
             }
         }
 
-        let input_ports = module
+        let input_ports: HashMap<String, Vec<NetId>> = module
             .inputs
             .iter()
             .map(|p| {
@@ -132,12 +148,20 @@ impl<'m> BatchSimulator<'m> {
                 (p.name.clone(), nets)
             })
             .collect();
+        let input_nets = module
+            .inputs
+            .iter()
+            .flat_map(|p| p.bits.iter().map(|s| s.net().expect("input bit")))
+            .collect();
         BatchSimulator {
             module,
             values: vec![0; module.net_count()],
             order,
             rom_order,
             input_ports,
+            input_nets,
+            fault_net: usize::MAX,
+            fault_word: 0,
         }
     }
 
@@ -147,11 +171,16 @@ impl<'m> BatchSimulator<'m> {
     /// Panics if the port does not exist or more than 64 lanes are given.
     pub fn set_lanes(&mut self, name: &str, lane_values: &[u64]) {
         assert!(lane_values.len() <= 64, "at most 64 lanes");
-        let nets = self
-            .input_ports
+        // Split borrows: the port map is read while the value array is
+        // written, so no clone of the net list is needed.
+        let Self {
+            values,
+            input_ports,
+            ..
+        } = self;
+        let nets = input_ports
             .get(name)
-            .unwrap_or_else(|| panic!("no input port named {name}"))
-            .clone();
+            .unwrap_or_else(|| panic!("no input port named {name}"));
         for (bit, net) in nets.iter().enumerate() {
             let mut word = 0u64;
             for (lane, &v) in lane_values.iter().enumerate() {
@@ -159,13 +188,75 @@ impl<'m> BatchSimulator<'m> {
                     word |= 1 << lane;
                 }
             }
+            values[net.index()] = word;
+        }
+    }
+
+    /// Transposes a chunk of up to 64 input vectors (one value per input
+    /// port, in port order) into per-input-net lane words. The returned
+    /// image can be replayed cheaply many times via [`Self::load_packed`] —
+    /// fault grading packs every vector chunk once and reloads it per
+    /// fault.
+    ///
+    /// # Panics
+    /// Panics if more than 64 vectors are given or a vector's arity is
+    /// wrong.
+    pub fn pack_vectors(&self, chunk: &[Vec<u64>]) -> Vec<u64> {
+        assert!(chunk.len() <= 64, "at most 64 lanes");
+        for v in chunk {
+            assert_eq!(v.len(), self.module.inputs.len(), "vector arity mismatch");
+        }
+        let mut words = vec![0u64; self.input_nets.len()];
+        let mut base = 0usize;
+        for (pi, port) in self.module.inputs.iter().enumerate() {
+            for (lane, v) in chunk.iter().enumerate() {
+                let value = v[pi];
+                for bit in 0..port.width() {
+                    if (value >> bit) & 1 == 1 {
+                        words[base + bit] |= 1 << lane;
+                    }
+                }
+            }
+            base += port.width();
+        }
+        words
+    }
+
+    /// Loads an input image produced by [`Self::pack_vectors`].
+    ///
+    /// # Panics
+    /// Panics if the image length does not match the module's input bits.
+    pub fn load_packed(&mut self, words: &[u64]) {
+        assert_eq!(words.len(), self.input_nets.len(), "packed image length");
+        for (net, &word) in self.input_nets.iter().zip(words) {
             self.values[net.index()] = word;
         }
     }
 
-    /// Evaluates all gates and ROMs once (levelized order).
+    /// Pins `net` to a stuck-at constant: every subsequent [`Self::settle`]
+    /// evaluates the module with the net forced across all lanes, without
+    /// cloning or re-levelizing anything. Replaces any previously injected
+    /// fault.
+    pub fn inject_fault(&mut self, net: NetId, stuck_at: bool) {
+        self.fault_net = net.index();
+        self.fault_word = if stuck_at { u64::MAX } else { 0 };
+    }
+
+    /// Removes the injected fault, returning to fault-free simulation.
+    pub fn clear_fault(&mut self) {
+        self.fault_net = usize::MAX;
+    }
+
+    /// Evaluates all gates and ROMs once (levelized order), honoring any
+    /// injected stuck-at fault.
     pub fn settle(&mut self) {
         let module = self.module;
+        // A stuck input (or any net) is forced before evaluation; stuck
+        // gate/ROM outputs are skipped in the loops below so the forced
+        // word survives the pass.
+        if self.fault_net != usize::MAX {
+            self.values[self.fault_net] = self.fault_word;
+        }
         // Interleave ROM evaluations at their recorded positions so data
         // dependencies hold: ROMs scheduled before gate `order[k]` are
         // evaluated when the cursor reaches k.
@@ -178,8 +269,12 @@ impl<'m> BatchSimulator<'m> {
                 rom_cursor += 1;
             }
             let g = &module.gates[gi];
+            let out = g.output.index();
+            if out == self.fault_net {
+                continue;
+            }
             let v = self.eval_gate(g.kind, &g.inputs);
-            self.values[g.output.index()] = v;
+            self.values[out] = v;
         }
         while rom_cursor < self.rom_order.len() {
             let ri = self.rom_order[rom_cursor].1;
@@ -205,6 +300,35 @@ impl<'m> BatchSimulator<'m> {
                 v
             })
             .collect()
+    }
+
+    /// Lane words of every output-port bit (port-major, bit-minor), masked
+    /// to the first `lanes` lanes — a module's full response image, in the
+    /// layout [`Self::outputs_match`] compares against.
+    pub fn output_words(&self, lanes: usize) -> Vec<u64> {
+        let mask = lane_mask(lanes);
+        self.module
+            .outputs
+            .iter()
+            .flat_map(|p| p.bits.iter().map(move |&s| self.read(s) & mask))
+            .collect()
+    }
+
+    /// Compares the current response image against `expected` (produced by
+    /// [`Self::output_words`] with the same `lanes`) without allocating —
+    /// the detection test in the fault-grading hot loop.
+    pub fn outputs_match(&self, expected: &[u64], lanes: usize) -> bool {
+        let mask = lane_mask(lanes);
+        let mut it = expected.iter();
+        for p in &self.module.outputs {
+            for &s in &p.bits {
+                let Some(&want) = it.next() else { return false };
+                if self.read(s) & mask != want {
+                    return false;
+                }
+            }
+        }
+        it.next().is_none()
     }
 
     fn read(&self, s: Signal) -> u64 {
@@ -256,6 +380,9 @@ impl<'m> BatchSimulator<'m> {
             *word = rom.read(addr);
         }
         for (bit, net) in rom.data.iter().enumerate() {
+            if net.index() == self.fault_net {
+                continue;
+            }
             let mut lanes_word = 0u64;
             for (lane, w) in words.iter().enumerate() {
                 if (w >> bit) & 1 == 1 {
@@ -335,6 +462,90 @@ mod tests {
         b.output("q", &[q]);
         let m = b.finish();
         let _ = BatchSimulator::new(&m);
+    }
+
+    #[test]
+    fn packed_images_replay_like_set_lanes() {
+        let mut b = NetlistBuilder::new("add");
+        let x = b.input("x", 4);
+        let y = b.input("y", 4);
+        let s = crate::arith::add(&mut b, &x, &y);
+        b.output("s", &s);
+        let m = b.finish();
+        let mut batch = BatchSimulator::new(&m);
+        let vectors: Vec<Vec<u64>> = (0..16).map(|v| vec![v, (v * 3) % 16]).collect();
+        let image = batch.pack_vectors(&vectors);
+        batch.load_packed(&image);
+        batch.settle();
+        let via_packed = batch.lanes("s", 16);
+        let words = batch.output_words(16);
+        assert!(batch.outputs_match(&words, 16));
+        batch.set_lanes("x", &(0..16).collect::<Vec<u64>>());
+        batch.set_lanes("y", &(0..16).map(|v| (v * 3) % 16).collect::<Vec<u64>>());
+        batch.settle();
+        assert_eq!(via_packed, batch.lanes("s", 16));
+        assert!(batch.outputs_match(&words, 16));
+    }
+
+    #[test]
+    fn injected_faults_match_the_cloned_reference_injection() {
+        // In-place lane-mask injection must agree with the clone-based
+        // `faults::inject` on every site and polarity of a real circuit.
+        let mut b = NetlistBuilder::new("mix");
+        let x = b.input("x", 3);
+        let a = b.and(x[0], x[1]);
+        let o = b.xor(a, x[2]);
+        let n = b.not(o);
+        b.output("o", &[o, n]);
+        let m = b.finish();
+        let vectors: Vec<Vec<u64>> = (0..8).map(|v| vec![v]).collect();
+        let mut batch = BatchSimulator::new(&m);
+        let image = batch.pack_vectors(&vectors);
+        for fault in crate::faults::fault_sites(&m) {
+            batch.inject_fault(fault.net, fault.stuck_at);
+            batch.load_packed(&image);
+            batch.settle();
+            let got = batch.lanes("o", 8);
+            let faulty = crate::faults::inject(&m, fault);
+            let mut reference = Simulator::new(&faulty);
+            for (lane, v) in vectors.iter().enumerate() {
+                reference.set("x", v[0]);
+                reference.settle();
+                assert_eq!(got[lane], reference.get("o"), "{fault:?} lane {lane}");
+            }
+        }
+        // Clearing the fault restores fault-free behavior.
+        batch.clear_fault();
+        batch.load_packed(&image);
+        batch.settle();
+        let mut clean = Simulator::new(&m);
+        for (lane, v) in vectors.iter().enumerate() {
+            clean.set("x", v[0]);
+            clean.settle();
+            assert_eq!(batch.lanes("o", 8)[lane], clean.get("o"));
+        }
+    }
+
+    #[test]
+    fn injected_faults_reach_rom_data_nets() {
+        use pdk::RomStyle;
+        let mut b = NetlistBuilder::new("rom");
+        let a = b.input("a", 2);
+        let d = b.rom(&a, vec![0, 1, 2, 3], 2, RomStyle::Crossbar);
+        b.output("d", &d);
+        let m = b.finish();
+        let vectors: Vec<Vec<u64>> = (0..4).map(|v| vec![v]).collect();
+        let mut batch = BatchSimulator::new(&m);
+        let image = batch.pack_vectors(&vectors);
+        // Stick data bit 0 at 1: every even word reads odd.
+        let f = crate::faults::Fault {
+            net: m.roms[0].data[0],
+            stuck_at: true,
+        };
+        batch.inject_fault(f.net, f.stuck_at);
+        batch.load_packed(&image);
+        batch.settle();
+        assert_eq!(batch.lanes("d", 4), vec![1, 1, 3, 3]);
     }
 
     #[test]

@@ -83,6 +83,11 @@ pub fn fault_sites(module: &Module) -> Vec<Fault> {
 /// Builds a copy of `module` with `fault` injected: the faulty net's
 /// driver still exists but every *reader* (gate inputs, ROM addresses,
 /// output ports) sees the stuck constant.
+///
+/// This is the *reference* injection semantics. The production grading
+/// path ([`coverage`]) never clones: it pins the stuck net's lane word in
+/// place via [`crate::batch::BatchSimulator::inject_fault`], which the
+/// batch-simulator tests check against this function site-by-site.
 pub fn inject(module: &Module, fault: Fault) -> Module {
     let mut m = module.clone();
     let stuck = Signal::Const(fault.stuck_at);
@@ -112,15 +117,26 @@ pub fn inject(module: &Module, fault: Fault) -> Module {
     m
 }
 
+/// Fault sites per [`exec::parallel_map`] work item. Fixed (rather than
+/// derived from the thread count) so the shard boundaries — and therefore
+/// any behavior that could leak through them — are identical at every
+/// thread count.
+const SITES_PER_SHARD: usize = 32;
+
 /// Measures single-stuck-at coverage of `vectors` over a *combinational*
 /// module. Each vector lists one value per input port, in port order.
 ///
-/// Runs on the 64-lane [`crate::batch::BatchSimulator`], so each faulty
-/// copy is exercised against 64 vectors per pass — the standard
-/// parallel-pattern fault simulation arrangement. Fault sites are
-/// additionally sharded across the [`exec`] thread pool: each injected
-/// simulation is independent, and the verdict list is reassembled in
-/// site order, so the report does not depend on the thread count.
+/// Runs on the 64-lane [`crate::batch::BatchSimulator`], so each fault is
+/// exercised against 64 vectors per settle pass — the standard
+/// parallel-pattern fault simulation arrangement — and faults are
+/// injected *in place* (a lane-mask pin on the stuck net's word via
+/// [`crate::batch::BatchSimulator::inject_fault`]) instead of cloning and
+/// re-levelizing the module per site. Detected faults are dropped: a
+/// fault stops simulating at its first detecting vector chunk. Fault
+/// sites are sharded across the [`exec`] thread pool in fixed-size blocks
+/// (one levelized simulator per shard) and the verdict list is
+/// reassembled in site order, so the report does not depend on the thread
+/// count.
 ///
 /// # Panics
 /// Panics if the module is sequential (run the vectors through your own
@@ -133,13 +149,40 @@ pub fn coverage(module: &Module, vectors: &[Vec<u64>]) -> FaultCoverage {
     for (i, v) in vectors.iter().enumerate() {
         assert_eq!(v.len(), module.inputs.len(), "vector {i} arity mismatch");
     }
-    // Fault-free responses, 64 lanes at a time.
-    let responses = batch_responses(module, vectors);
+    // Pack every ≤64-vector chunk once and record the fault-free response
+    // image; each fault replays the same images.
+    let mut sim = crate::batch::BatchSimulator::new(module);
+    let chunks: Vec<(Vec<u64>, usize)> = vectors
+        .chunks(64)
+        .map(|c| (sim.pack_vectors(c), c.len()))
+        .collect();
+    let good: Vec<Vec<u64>> = chunks
+        .iter()
+        .map(|(image, lanes)| {
+            sim.load_packed(image);
+            sim.settle();
+            sim.output_words(*lanes)
+        })
+        .collect();
 
     let sites = fault_sites(module);
-    let verdicts: Vec<bool> = exec::parallel_map(&sites, |_, &fault| {
-        batch_responses(&inject(module, fault), vectors) != responses
+    let shards: Vec<&[Fault]> = sites.chunks(SITES_PER_SHARD).collect();
+    let verdicts: Vec<Vec<bool>> = exec::parallel_map(&shards, |_, shard| {
+        let mut sim = crate::batch::BatchSimulator::new(module);
+        shard
+            .iter()
+            .map(|&fault| {
+                sim.inject_fault(fault.net, fault.stuck_at);
+                // Fault dropping: `any` stops at the first detecting chunk.
+                chunks.iter().zip(&good).any(|((image, lanes), expected)| {
+                    sim.load_packed(image);
+                    sim.settle();
+                    !sim.outputs_match(expected, *lanes)
+                })
+            })
+            .collect()
     });
+    let verdicts: Vec<bool> = verdicts.concat();
     let detected = verdicts.iter().filter(|&&d| d).count();
     let undetected = sites
         .iter()
@@ -152,29 +195,6 @@ pub fn coverage(module: &Module, vectors: &[Vec<u64>]) -> FaultCoverage {
         detected,
         undetected,
     }
-}
-
-/// Evaluates all vectors, 64 lanes per pass, returning per-vector output
-/// words (ports concatenated in order).
-fn batch_responses(module: &Module, vectors: &[Vec<u64>]) -> Vec<Vec<u64>> {
-    let mut sim = crate::batch::BatchSimulator::new(module);
-    let mut out = Vec::with_capacity(vectors.len());
-    for chunk in vectors.chunks(64) {
-        for (pi, port) in module.inputs.iter().enumerate() {
-            let lanes: Vec<u64> = chunk.iter().map(|v| v[pi]).collect();
-            sim.set_lanes(&port.name, &lanes);
-        }
-        sim.settle();
-        let per_port: Vec<Vec<u64>> = module
-            .outputs
-            .iter()
-            .map(|p| sim.lanes(&p.name, chunk.len()))
-            .collect();
-        for lane in 0..chunk.len() {
-            out.push(per_port.iter().map(|pp| pp[lane]).collect());
-        }
-    }
-    out
 }
 
 #[cfg(test)]

@@ -64,5 +64,5 @@ pub use opt::optimize;
 pub use sim::Simulator;
 pub use stats::{logic_levels, max_logic_levels};
 pub use testbench::to_testbench;
-pub use verify::{check_equivalence, miter, Equivalence};
+pub use verify::{check_equivalence, miter, Equivalence, MiterError};
 pub use verilog::to_verilog;

@@ -4,12 +4,84 @@
 //! absorption, CSE, lookup replacement); a synthesis flow would sign this
 //! off with logic equivalence checking. This module provides the same
 //! safety net: a classic *miter* construction (XOR corresponding outputs,
-//! OR the differences) plus exhaustive or sampled proving via the
-//! functional simulator.
+//! OR the differences) plus exhaustive or sampled proving on the 64-lane
+//! [`BatchSimulator`] — every settle pass tries 64 input vectors, and
+//! vector spans are sharded across the [`exec`] pool in fixed-size blocks
+//! so the verdict (and any counter-example) is identical at every thread
+//! count.
 
+use std::fmt;
+
+use crate::batch::BatchSimulator;
 use crate::builder::NetlistBuilder;
 use crate::ir::{Module, Signal};
-use crate::sim::Simulator;
+
+/// Root seed of the deterministic sampling stream (golden-ratio constant,
+/// kept from the original scalar checker).
+const SAMPLE_ROOT: u64 = 0x9e3779b97f4a7c15;
+
+/// Samples per [`exec::parallel_map`] work item in sampled mode, and
+/// packed vectors per work item in exhaustive mode. Fixed (not derived
+/// from the thread count) so span boundaries — and the per-span RNG
+/// streams — are identical at every thread count.
+const SAMPLE_SPAN: usize = 1024;
+const EXHAUSTIVE_SPAN: u64 = 1 << 16;
+
+/// Why a miter could not be built: the two modules do not present the
+/// same interface, so there is no shared input space to compare them
+/// over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MiterError {
+    /// One of the modules is sequential.
+    Sequential {
+        /// Name of the offending module.
+        module: String,
+    },
+    /// The modules disagree on input/output port count.
+    PortCount {
+        /// `"input"` or `"output"`.
+        direction: &'static str,
+        /// Port count of module `a`.
+        a: usize,
+        /// Port count of module `b`.
+        b: usize,
+    },
+    /// A corresponding port pair differs in name or width.
+    PortShape {
+        /// `"input"` or `"output"`.
+        direction: &'static str,
+        /// Index of the mismatched port pair.
+        index: usize,
+        /// `name[width]` of module `a`'s port.
+        a: String,
+        /// `name[width]` of module `b`'s port.
+        b: String,
+    },
+}
+
+impl fmt::Display for MiterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiterError::Sequential { module } => {
+                write!(
+                    f,
+                    "module {module} is sequential; miter needs combinational modules"
+                )
+            }
+            MiterError::PortCount { direction, a, b } => {
+                write!(f, "{direction} port count differs: {a} vs {b}")
+            }
+            MiterError::PortShape {
+                direction,
+                index,
+                a,
+                b,
+            } => write!(f, "{direction} port {index} differs: {a} vs {b}"),
+        }
+    }
+}
+
+impl std::error::Error for MiterError {}
 
 /// Outcome of an equivalence check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,33 +102,54 @@ impl Equivalence {
     pub fn is_equivalent(&self) -> bool {
         matches!(self, Equivalence::Equivalent { .. })
     }
+
+    /// Number of vectors evaluated before the verdict (0 for a
+    /// counter-example).
+    pub fn vectors(&self) -> usize {
+        match self {
+            Equivalence::Equivalent { vectors, .. } => *vectors,
+            Equivalence::CounterExample(_) => 0,
+        }
+    }
 }
 
 /// Builds a miter over two combinational modules with identical port
 /// shapes: shared inputs, one `diff` output that is 1 iff any output bit
 /// differs.
 ///
-/// # Panics
-/// Panics if the modules' port names/widths differ or either is
-/// sequential.
-pub fn miter(a: &Module, b: &Module) -> Module {
-    assert!(
-        a.is_combinational() && b.is_combinational(),
-        "miter needs combinational modules"
-    );
-    assert_eq!(a.inputs.len(), b.inputs.len(), "input port count differs");
-    for (pa, pb) in a.inputs.iter().zip(&b.inputs) {
-        assert_eq!(pa.name, pb.name, "input port name differs");
-        assert_eq!(pa.width(), pb.width(), "input port width differs");
+/// # Errors
+/// Returns a [`MiterError`] if the modules' port names/widths differ or
+/// either is sequential.
+pub fn miter(a: &Module, b: &Module) -> Result<Module, MiterError> {
+    for m in [a, b] {
+        if !m.is_combinational() {
+            return Err(MiterError::Sequential {
+                module: m.name.clone(),
+            });
+        }
     }
-    assert_eq!(
-        a.outputs.len(),
-        b.outputs.len(),
-        "output port count differs"
-    );
-    for (pa, pb) in a.outputs.iter().zip(&b.outputs) {
-        assert_eq!(pa.name, pb.name, "output port name differs");
-        assert_eq!(pa.width(), pb.width(), "output port width differs");
+    let shape = |p: &crate::ir::Port| format!("{}[{}]", p.name, p.width());
+    for (direction, pa, pb) in [
+        ("input", &a.inputs, &b.inputs),
+        ("output", &a.outputs, &b.outputs),
+    ] {
+        if pa.len() != pb.len() {
+            return Err(MiterError::PortCount {
+                direction,
+                a: pa.len(),
+                b: pb.len(),
+            });
+        }
+        for (index, (x, y)) in pa.iter().zip(pb.iter()).enumerate() {
+            if x.name != y.name || x.width() != y.width() {
+                return Err(MiterError::PortShape {
+                    direction,
+                    index,
+                    a: shape(x),
+                    b: shape(y),
+                });
+            }
+        }
     }
 
     let mut m = NetlistBuilder::new(format!("miter_{}_{}", a.name, b.name));
@@ -139,76 +232,180 @@ pub fn miter(a: &Module, b: &Module) -> Module {
         m.or_reduce(&diffs)
     };
     m.output("diff", &[diff]);
-    m.finish()
+    Ok(m.finish())
 }
 
-/// Checks equivalence of two combinational modules.
+/// A full-width mask for a `w`-bit input port (`w = 64` must keep bit 63 —
+/// the original scalar checker's `w.min(63)` mask silently pinned it to
+/// 0, hiding any divergence confined to the top bit).
+fn width_mask(w: usize) -> u64 {
+    match w {
+        0 => 0,
+        1..=63 => (1u64 << w) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// One shared lane scratchpad: per-port lane value buffers, reused across
+/// chunks.
+struct LaneBuffer {
+    /// `per_port[p][lane]` is port `p`'s value under vector `lane`.
+    per_port: Vec<[u64; 64]>,
+}
+
+impl LaneBuffer {
+    fn new(n_ports: usize) -> Self {
+        LaneBuffer {
+            per_port: vec![[0u64; 64]; n_ports],
+        }
+    }
+
+    /// Drives `sim` with the first `lanes` columns.
+    fn load(&self, sim: &mut BatchSimulator<'_>, inputs: &[crate::ir::Port], lanes: usize) {
+        for (p, port) in inputs.iter().enumerate() {
+            sim.set_lanes(&port.name, &self.per_port[p][..lanes]);
+        }
+    }
+
+    /// The input vector carried by `lane` (values per port, in order).
+    fn vector(&self, lane: usize) -> Vec<u64> {
+        self.per_port.iter().map(|col| col[lane]).collect()
+    }
+}
+
+/// Checks equivalence of two combinational modules on the 64-lane batch
+/// simulator.
 ///
-/// With `total_input_bits <= exhaustive_limit` every input combination is
-/// tried (a proof); otherwise `samples` pseudo-random vectors are tried
-/// (a falsification attempt). The first mismatch is returned as a
-/// counter-example.
+/// With `total_input_bits <= exhaustive_limit` (and below the 64-bit
+/// packing window) every input combination is tried — a proof; otherwise
+/// `samples` pseudo-random vectors are tried — a falsification attempt.
+/// The first mismatch in deterministic vector order is returned as a
+/// counter-example regardless of thread count.
+///
+/// Passing `exhaustive_limit >= 64` cannot enumerate `2^64` packed
+/// vectors in a `u64`; exhaustive proving is clamped to modules with
+/// fewer than 64 total input bits and wider interfaces fall back to
+/// sampling (with a note on stderr).
+///
+/// # Errors
+/// Returns a [`MiterError`] when the two modules' port shapes differ.
 pub fn check_equivalence(
     a: &Module,
     b: &Module,
     exhaustive_limit: u32,
     samples: usize,
-) -> Equivalence {
-    let m = miter(a, b);
-    let mut sim = Simulator::new(&m);
+) -> Result<Equivalence, MiterError> {
+    let m = miter(a, b)?;
+    let total_bits: u32 = m.inputs.iter().map(|p| p.width() as u32).sum();
+
+    if total_bits < 64 && total_bits <= exhaustive_limit {
+        Ok(prove_exhaustive(&m, total_bits))
+    } else {
+        if total_bits >= 64 && exhaustive_limit >= 64 {
+            eprintln!(
+                "[verify] {}: {total_bits} input bits exceed the 63-bit exhaustive \
+                 window; falling back to {samples} sampled vectors",
+                m.name
+            );
+        }
+        Ok(prove_sampled(&m, samples))
+    }
+}
+
+/// Exhaustive proof: all `2^total_bits` packed input vectors, 64 lanes
+/// per settle, sharded over fixed `EXHAUSTIVE_SPAN` ranges.
+fn prove_exhaustive(m: &Module, total_bits: u32) -> Equivalence {
+    let count = 1u64 << total_bits;
     let widths: Vec<usize> = m.inputs.iter().map(|p| p.width()).collect();
-    let total_bits: u32 = widths.iter().map(|w| *w as u32).sum();
-
-    let try_vector = |sim: &mut Simulator, values: &[u64]| -> bool {
-        for (p, &v) in m.inputs.iter().zip(values) {
-            sim.set(&p.name, v);
-        }
-        sim.settle();
-        sim.get("diff") == 0
-    };
-
-    if total_bits <= exhaustive_limit {
-        let count = 1u64 << total_bits;
-        for packed in 0..count {
-            let mut rest = packed;
-            let values: Vec<u64> = widths
-                .iter()
-                .map(|&w| {
-                    let v = rest & ((1u64 << w) - 1);
+    let spans: Vec<u64> = (0..count.div_ceil(EXHAUSTIVE_SPAN)).collect();
+    let failures: Vec<Option<Vec<u64>>> = exec::parallel_map(&spans, |_, &span| {
+        let mut sim = BatchSimulator::new(m);
+        let mut lanes = LaneBuffer::new(widths.len());
+        let start = span * EXHAUSTIVE_SPAN;
+        let end = (start + EXHAUSTIVE_SPAN).min(count);
+        let mut base = start;
+        while base < end {
+            let n = ((end - base) as usize).min(64);
+            for lane in 0..n {
+                let mut rest = base + lane as u64;
+                for (p, &w) in widths.iter().enumerate() {
+                    lanes.per_port[p][lane] = rest & width_mask(w);
                     rest >>= w;
-                    v
-                })
-                .collect();
-            if !try_vector(&mut sim, &values) {
-                return Equivalence::CounterExample(values);
+                }
             }
+            lanes.load(&mut sim, &m.inputs, n);
+            sim.settle();
+            if let Some(lane) = first_diff_lane(&sim, n) {
+                return Some(lanes.vector(lane));
+            }
+            base += n as u64;
         }
-        Equivalence::Equivalent {
+        None
+    });
+    match failures.into_iter().flatten().next() {
+        Some(values) => Equivalence::CounterExample(values),
+        None => Equivalence::Equivalent {
             vectors: count as usize,
             exhaustive: true,
-        }
-    } else {
-        // Deterministic xorshift sampling.
-        let mut state = 0x9e3779b97f4a7c15u64;
+        },
+    }
+}
+
+/// Sampled falsification: `samples` deterministic pseudo-random vectors,
+/// 64 lanes per settle, sharded over fixed `SAMPLE_SPAN` ranges with
+/// per-span seed streams (`exec::task_seed`), so the tried vectors do not
+/// depend on the thread count.
+fn prove_sampled(m: &Module, samples: usize) -> Equivalence {
+    let widths: Vec<usize> = m.inputs.iter().map(|p| p.width()).collect();
+    let spans: Vec<usize> = (0..samples.div_ceil(SAMPLE_SPAN)).collect();
+    let failures: Vec<Option<Vec<u64>>> = exec::parallel_map(&spans, |_, &span| {
+        let mut sim = BatchSimulator::new(m);
+        let mut lanes = LaneBuffer::new(widths.len());
+        // xorshift needs a nonzero state; task_seed(root, span) == 0 is a
+        // 1-in-2^64 fluke but would freeze the stream entirely.
+        let mut state = exec::task_seed(SAMPLE_ROOT, span as u64).max(1);
         let mut next = move || {
+            // xorshift64, seeded per span.
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
             state
         };
-        for _ in 0..samples {
-            let values: Vec<u64> = widths
-                .iter()
-                .map(|&w| next() & ((1u64 << w.min(63)) - 1))
-                .collect();
-            if !try_vector(&mut sim, &values) {
-                return Equivalence::CounterExample(values);
+        let start = span * SAMPLE_SPAN;
+        let end = (start + SAMPLE_SPAN).min(samples);
+        let mut base = start;
+        while base < end {
+            let n = (end - base).min(64);
+            for lane in 0..n {
+                for (p, &w) in widths.iter().enumerate() {
+                    lanes.per_port[p][lane] = next() & width_mask(w);
+                }
             }
+            lanes.load(&mut sim, &m.inputs, n);
+            sim.settle();
+            if let Some(lane) = first_diff_lane(&sim, n) {
+                return Some(lanes.vector(lane));
+            }
+            base += n;
         }
-        Equivalence::Equivalent {
+        None
+    });
+    match failures.into_iter().flatten().next() {
+        Some(values) => Equivalence::CounterExample(values),
+        None => Equivalence::Equivalent {
             vectors: samples,
             exhaustive: false,
-        }
+        },
+    }
+}
+
+/// Lowest lane (vector) whose `diff` output is raised, if any.
+fn first_diff_lane(sim: &BatchSimulator<'_>, lanes: usize) -> Option<usize> {
+    let word = sim.output_words(lanes)[0];
+    if word == 0 {
+        None
+    } else {
+        Some(word.trailing_zeros() as usize)
     }
 }
 
@@ -227,7 +424,7 @@ mod tests {
         b.output("le", &[le]);
         let original = b.finish();
         let optimized = optimize(&original);
-        let verdict = check_equivalence(&original, &optimized, 16, 0);
+        let verdict = check_equivalence(&original, &optimized, 16, 0).unwrap();
         assert!(
             matches!(
                 verdict,
@@ -252,7 +449,7 @@ mod tests {
         };
         let a = build(5);
         let bb = build(6);
-        let verdict = check_equivalence(&a, &bb, 16, 0);
+        let verdict = check_equivalence(&a, &bb, 16, 0).unwrap();
         match verdict {
             Equivalence::CounterExample(v) => {
                 // The circuits disagree exactly at x = 6.
@@ -271,7 +468,7 @@ mod tests {
         b.output("s", &s);
         let a = b.finish();
         let opt = optimize(&a);
-        let verdict = check_equivalence(&a, &opt, 16, 200);
+        let verdict = check_equivalence(&a, &opt, 16, 200).unwrap();
         assert!(
             matches!(
                 verdict,
@@ -297,19 +494,114 @@ mod tests {
         let crossbar = build(RomStyle::Crossbar);
         let dots = build(RomStyle::BespokeDots);
         // Same contents, different implementation style: equivalent.
-        let verdict = check_equivalence(&crossbar, &dots, 8, 0);
+        let verdict = check_equivalence(&crossbar, &dots, 8, 0).unwrap();
         assert!(verdict.is_equivalent());
     }
 
     #[test]
-    #[should_panic(expected = "width differs")]
-    fn mismatched_ports_are_rejected() {
+    fn mismatched_ports_are_reported_not_panicked() {
         let mut b1 = NetlistBuilder::new("a");
         let x = b1.input("x", 2);
         b1.output("o", &[x[0]]);
         let mut b2 = NetlistBuilder::new("b");
         let y = b2.input("x", 3);
         b2.output("o", &[y[0]]);
-        let _ = miter(&b1.finish(), &b2.finish());
+        let err = miter(&b1.finish(), &b2.finish()).unwrap_err();
+        assert_eq!(
+            err,
+            MiterError::PortShape {
+                direction: "input",
+                index: 0,
+                a: "x[2]".into(),
+                b: "x[3]".into(),
+            }
+        );
+        assert!(err.to_string().contains("input port 0 differs"));
+    }
+
+    #[test]
+    fn sequential_modules_are_reported() {
+        let mut b = NetlistBuilder::new("seq");
+        let x = b.input("x", 1);
+        let q = b.dff(x[0], false);
+        b.output("q", &[q]);
+        let seq = b.finish();
+        let err = miter(&seq, &seq).unwrap_err();
+        assert!(matches!(err, MiterError::Sequential { .. }));
+    }
+
+    /// Regression: the scalar checker's sampled path masked each port with
+    /// `w.min(63)` bits, so bit 63 of a 64-bit port was never driven to 1
+    /// and two modules differing only there sampled as "equivalent".
+    #[test]
+    fn sampling_exercises_bit_63_of_a_64_bit_port() {
+        let mut b1 = NetlistBuilder::new("top_bit");
+        let x = b1.input("x", 64);
+        let top = b1.buf(x[63]);
+        b1.output("o", &[top]);
+        let a = b1.finish();
+        let mut b2 = NetlistBuilder::new("zero");
+        let _ = b2.input("x", 64);
+        let zero = b2.and(Signal::ZERO, Signal::ZERO);
+        b2.output("o", &[zero]);
+        let bb = b2.finish();
+        // 64 total input bits: sampled mode. Half of all random vectors
+        // set bit 63, so a handful of samples must find the divergence.
+        let verdict = check_equivalence(&a, &bb, 16, 256).unwrap();
+        match verdict {
+            Equivalence::CounterExample(v) => {
+                assert_eq!(v.len(), 1);
+                assert!(v[0] >> 63 == 1, "witness must set bit 63: {:#x}", v[0]);
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    /// Regression: `1u64 << total_bits` wrapped when a caller passed
+    /// `exhaustive_limit >= 64`, claiming an exhaustive proof over zero
+    /// vectors. Wide interfaces must clamp to sampling instead.
+    #[test]
+    fn exhaustive_limit_at_or_above_64_bits_falls_back_to_sampling() {
+        let mut b1 = NetlistBuilder::new("wide_a");
+        let x = b1.input("x", 64);
+        let o = b1.xor(x[0], x[63]);
+        b1.output("o", &[o]);
+        let a = b1.finish();
+        let opt = optimize(&a);
+        let verdict = check_equivalence(&a, &opt, 64, 100).unwrap();
+        assert_eq!(
+            verdict,
+            Equivalence::Equivalent {
+                vectors: 100,
+                exhaustive: false
+            }
+        );
+    }
+
+    #[test]
+    fn counterexamples_are_thread_count_invariant() {
+        // Divergence only at one specific wide input; the reported witness
+        // must be identical at any thread count.
+        let build = |tweak: bool| {
+            let mut b = NetlistBuilder::new("w");
+            let x = b.input("x", 24);
+            let y = b.input("y", 24);
+            let mut acc = b.xor(x[0], y[0]);
+            for i in 1..24 {
+                let t = b.xor(x[i], y[i]);
+                acc = b.and(acc, t);
+            }
+            if tweak {
+                acc = b.not(acc);
+            }
+            b.output("o", &[acc]);
+            b.finish()
+        };
+        let a = build(false);
+        let bb = build(true);
+        let one = exec::with_threads(1, || check_equivalence(&a, &bb, 8, 4096).unwrap());
+        let many = exec::with_threads(8, || check_equivalence(&a, &bb, 8, 4096).unwrap());
+        assert_eq!(one, many);
+        assert!(!one.is_equivalent());
     }
 }

@@ -2,7 +2,7 @@
 //! generated from the same model must be *provably* the same function —
 //! checked with a miter, exhaustively where the input space allows.
 
-use printed_ml::core::bespoke::bespoke_parallel;
+use printed_ml::core::bespoke::{bespoke_parallel, bespoke_parallel_raw};
 use printed_ml::core::lookup::{lookup_parallel, LookupConfig};
 use printed_ml::ml::quant::{FeatureQuantizer, QuantizedTree};
 use printed_ml::ml::synth::Application;
@@ -26,7 +26,7 @@ fn bespoke_and_lookup_trees_are_logically_equivalent() {
             let lookup = lookup_parallel(&qt, config);
             // Port shapes match by construction (same used-feature slots).
             let total_bits: usize = bespoke.inputs.iter().map(|p| p.width()).sum();
-            let verdict = check_equivalence(&bespoke, &lookup, 18, 3000);
+            let verdict = check_equivalence(&bespoke, &lookup, 18, 3000).expect("port shapes");
             match verdict {
                 Equivalence::Equivalent {
                     exhaustive,
@@ -48,12 +48,15 @@ fn bespoke_and_lookup_trees_are_logically_equivalent() {
 #[test]
 fn optimization_is_equivalence_preserving_on_real_designs() {
     let qt = small_tree(Application::Pendigits, 4, 4);
-    // Rebuild the unoptimized netlist by regenerating and re-optimizing:
-    // optimize() is idempotent, so double-optimization must also prove
-    // equivalent.
+    // The raw generator output is the genuine unoptimized reference; the
+    // optimized netlist must prove equivalent to it...
+    let raw = bespoke_parallel_raw(&qt);
     let once = bespoke_parallel(&qt);
+    let verdict = check_equivalence(&raw, &once, 20, 5000).expect("port shapes");
+    assert!(verdict.is_equivalent(), "{verdict:?}");
+    // ...and optimize() is idempotent, so double-optimization must too.
     let twice = optimize(&once);
-    let verdict = check_equivalence(&once, &twice, 20, 5000);
+    let verdict = check_equivalence(&once, &twice, 20, 5000).expect("port shapes");
     assert!(verdict.is_equivalent(), "{verdict:?}");
     assert_eq!(
         once.gate_count(),
@@ -78,7 +81,7 @@ fn counterexamples_surface_real_divergence() {
             .zip(&b.inputs)
             .all(|(x, y)| x.width() == y.width())
     {
-        let verdict = check_equivalence(&a, &b, 16, 4000);
+        let verdict = check_equivalence(&a, &b, 16, 4000).expect("port shapes");
         assert!(
             !verdict.is_equivalent(),
             "depth-2 and depth-4 HAR trees should differ somewhere"

@@ -242,6 +242,38 @@ fn batch_simulator_matches_scalar_on_random_circuits() {
 }
 
 #[test]
+fn batch_simulator_matches_scalar_at_every_lane_count() {
+    // The verification engine packs 1..=64 vectors per settle; partial
+    // words (lane counts below 64) must behave exactly like the scalar
+    // simulator — bit 63 included (the sampled-mode mask bug regression).
+    use printed_ml::netlist::BatchSimulator;
+    cases(0xB15_000A, 4, |case, rng| {
+        let n_gates = rng.gen_range(8usize..30);
+        let n_inputs = rng.gen_range(2usize..6);
+        let m = random_circuit(rng, n_gates, n_inputs, 3);
+        let mut batch = BatchSimulator::new(&m);
+        let mut scalar = Simulator::new(&m);
+        for lanes in 1usize..=64 {
+            let vectors: Vec<u64> = (0..lanes)
+                .map(|_| rng.gen_range(0u64..(1u64 << n_inputs)))
+                .collect();
+            batch.set_lanes("x", &vectors);
+            batch.settle();
+            let got = batch.lanes("o", lanes);
+            for (lane, &v) in vectors.iter().enumerate() {
+                scalar.set("x", v);
+                scalar.settle();
+                assert_eq!(
+                    got[lane],
+                    scalar.get("o"),
+                    "case {case} lanes={lanes} lane={lane} v={v}"
+                );
+            }
+        }
+    });
+}
+
+#[test]
 fn forest_hardware_matches_model_on_random_datasets() {
     use printed_ml::core::bespoke_forest;
     use printed_ml::ml::forest::{ForestParams, RandomForest};
