@@ -1,0 +1,127 @@
+//! Wall-clock benchmark of the worklist logic optimizer over the
+//! Table-II workloads (bespoke depth-4 trees and bespoke SVMs for every
+//! application) plus the largest netlist in the evaluation, the
+//! conventional 16-class SVM (~438 k gates).
+//!
+//! Prints per-workload gates/sec and writes a `BENCH_opt.json` report so
+//! before/after numbers for optimizer changes are one `cargo run` away:
+//!
+//! ```text
+//! cargo run --release -p bench --bin opt_bench -- [--smoke] [--json PATH]
+//! ```
+
+use ml::synth::Application;
+use netlist::{optimize_with_stats, Module};
+use printed_core::conventional::svm::{generate as gen_svm, SvmSpec};
+use printed_core::flow::{SvmFlow, TreeFlow};
+use serde::Serialize;
+
+use bench::workloads::SEED;
+
+/// One optimized workload in the report.
+#[derive(Serialize)]
+struct WorkloadResult {
+    name: String,
+    gates_in: usize,
+    gates_out: usize,
+    rewrites: usize,
+    seconds: f64,
+    gates_per_sec: f64,
+}
+
+/// The `BENCH_opt.json` report.
+#[derive(Serialize)]
+struct Report {
+    smoke: bool,
+    workloads: Vec<WorkloadResult>,
+    /// Headline number: optimizer throughput on the conventional SVM-16
+    /// netlist, the largest module the harness ever optimizes.
+    svm16_gates_per_sec: f64,
+    total_gates_in: usize,
+    total_seconds: f64,
+}
+
+fn measure(name: String, module: &Module, results: &mut Vec<WorkloadResult>) {
+    let (_, stats) = optimize_with_stats(module);
+    println!(
+        "{name}: {} -> {} gates, {} rewrites in {:.3}s ({:.0} gates/sec)",
+        stats.gates_in,
+        stats.gates_out,
+        stats.rewrites(),
+        stats.seconds,
+        stats.gates_per_sec(),
+    );
+    results.push(WorkloadResult {
+        name,
+        gates_in: stats.gates_in,
+        gates_out: stats.gates_out,
+        rewrites: stats.rewrites(),
+        seconds: stats.seconds,
+        gates_per_sec: stats.gates_per_sec(),
+    });
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut json_path = "BENCH_opt.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => json_path = path.clone(),
+                    None => {
+                        eprintln!("--json requires a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: opt_bench [--smoke] [--json PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    bench::workloads::set_smoke(smoke);
+
+    let apps: Vec<Application> = if smoke {
+        vec![Application::Har, Application::RedWine]
+    } else {
+        Application::ALL.to_vec()
+    };
+    let mut results = Vec::new();
+    for app in &apps {
+        let flow = TreeFlow::new(*app, 4, SEED);
+        let raw = printed_core::bespoke::bespoke_parallel_raw(&flow.qt);
+        measure(format!("{}-dt4-bespoke", app.name()), &raw, &mut results);
+        let flow = SvmFlow::new(*app, SEED);
+        let raw = printed_core::bespoke::bespoke_svm_raw(&flow.qs);
+        measure(format!("{}-svm-bespoke", app.name()), &raw, &mut results);
+    }
+    let svm16 = gen_svm(&SvmSpec::conventional(16));
+    measure("conv-svm16".into(), &svm16, &mut results);
+
+    let svm16_gates_per_sec = results.last().map(|r| r.gates_per_sec).unwrap_or_default();
+    let report = Report {
+        smoke,
+        total_gates_in: results.iter().map(|r| r.gates_in).sum(),
+        total_seconds: results.iter().map(|r| r.seconds).sum(),
+        svm16_gates_per_sec,
+        workloads: results,
+    };
+    println!(
+        "total: {} gates in {:.3}s; svm-16 at {:.0} gates/sec",
+        report.total_gates_in, report.total_seconds, report.svm16_gates_per_sec
+    );
+    let body = serde_json::to_string_pretty(&report).expect("serialize report");
+    if let Err(err) = std::fs::write(&json_path, body) {
+        eprintln!("error: cannot write {json_path}: {err}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {json_path}");
+}

@@ -38,12 +38,40 @@ struct ExperimentResult {
     tables: Vec<bench::Table>,
 }
 
+/// Cumulative logic-optimizer statistics over the whole run (every
+/// `netlist::optimize` call any experiment or the sign-off stage made).
+#[derive(Serialize)]
+struct OptimizerSection {
+    calls: u64,
+    gates_in: u64,
+    gates_out: u64,
+    rewrites: u64,
+    seconds: f64,
+    gates_per_sec: f64,
+}
+
+impl OptimizerSection {
+    fn snapshot() -> Self {
+        let c = netlist::cumulative_stats();
+        OptimizerSection {
+            calls: c.calls,
+            gates_in: c.gates_in,
+            gates_out: c.gates_out,
+            rewrites: c.rewrites,
+            seconds: c.seconds,
+            gates_per_sec: c.gates_per_sec(),
+        }
+    }
+}
+
 /// The combined `--json` report.
 #[derive(Serialize)]
 struct Report {
     threads: usize,
     smoke: bool,
     experiments: Vec<ExperimentResult>,
+    /// Cumulative worklist-optimizer throughput for the run.
+    optimizer: OptimizerSection,
     /// Sign-off outcomes (present with `--verify`).
     verify: Option<bench::verify::VerifyReport>,
 }
@@ -138,11 +166,22 @@ fn main() {
         None
     };
 
+    let optimizer = OptimizerSection::snapshot();
+    eprintln!(
+        "[repro] optimizer: {} calls, {} -> {} gates, {} rewrites in {:.2}s ({:.0} gates/sec)",
+        optimizer.calls,
+        optimizer.gates_in,
+        optimizer.gates_out,
+        optimizer.rewrites,
+        optimizer.seconds,
+        optimizer.gates_per_sec
+    );
     if let Some(path) = json_path {
         let report = Report {
             threads,
             smoke,
             experiments: results,
+            optimizer,
             verify: verify_report.clone(),
         };
         let body = serde_json::to_string_pretty(&report).expect("serialize report");

@@ -106,6 +106,7 @@ impl TreeFlow {
             exhaustive_limit,
             samples,
         )];
+        let mut optimized_lookup = None;
         for (tag, config) in [
             ("lookup-baseline", LookupConfig::baseline()),
             ("lookup-optimized", LookupConfig::optimized()),
@@ -119,10 +120,11 @@ impl TreeFlow {
                 exhaustive_limit,
                 samples,
             ));
+            optimized_lookup = Some(lookup);
         }
-        let lookup = self
-            .module(TreeArch::Lookup(LookupConfig::optimized()))
-            .expect("digital");
+        // The loop above ends on the optimized config; reuse that module
+        // for the cross-check instead of regenerating it.
+        let lookup = optimized_lookup.expect("loop ran");
         records.push(signoff_pair(
             &design,
             "lookup vs bespoke",

@@ -217,6 +217,76 @@ impl DecisionTree {
     }
 }
 
+/// Prefix-count sweep over one feature: distinct sorted values plus, for
+/// each, the cumulative per-class count of samples at or below it. Every
+/// candidate threshold's left/right partition then reads off in O(classes)
+/// instead of rescanning all samples.
+struct Sweep {
+    /// Distinct feature values, ascending.
+    vals: Vec<f64>,
+    /// Flattened `vals.len() x n_classes`: `cum[k*c..][..c]` counts the
+    /// samples of each class with value `<= vals[k]`.
+    cum: Vec<usize>,
+    classes: usize,
+    n: usize,
+}
+
+impl Sweep {
+    fn build(data: &Dataset, indices: &[usize], f: usize) -> Sweep {
+        let mut pairs: Vec<(f64, u32)> = indices
+            .iter()
+            .map(|&i| (data.x[i][f], data.y[i] as u32))
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let classes = data.n_classes;
+        let mut vals: Vec<f64> = Vec::new();
+        let mut cum: Vec<usize> = Vec::new();
+        let mut running = vec![0usize; classes];
+        for &(v, y) in &pairs {
+            if vals.last() != Some(&v) {
+                if !vals.is_empty() {
+                    cum.extend_from_slice(&running);
+                }
+                vals.push(v);
+            }
+            running[y as usize] += 1;
+        }
+        if !vals.is_empty() {
+            cum.extend_from_slice(&running);
+        }
+        Sweep {
+            vals,
+            cum,
+            classes,
+            n: indices.len(),
+        }
+    }
+
+    /// Scores the candidate threshold between `vals[w]` and `vals[w+1]`.
+    /// Returns `(threshold, score)`, or `None` for a degenerate one-sided
+    /// partition. The midpoint may round onto `vals[w+1]` itself (adjacent
+    /// floats); `x <= thr` then takes that value's samples left, exactly as
+    /// a direct scan would.
+    fn eval(&self, w: usize, total: &[usize]) -> Option<(f64, f64)> {
+        let c = self.classes;
+        let thr = (self.vals[w] + self.vals[w + 1]) / 2.0;
+        let k = if thr >= self.vals[w + 1] { w + 1 } else { w };
+        let lc = &self.cum[k * c..(k + 1) * c];
+        let ln: usize = lc.iter().sum();
+        let rn = self.n - ln;
+        if ln == 0 || rn == 0 {
+            return None;
+        }
+        let rc: Vec<usize> = total.iter().zip(lc).map(|(&t, &l)| t - l).collect();
+        let score = (ln as f64 * gini(lc, ln) + rn as f64 * gini(&rc, rn)) / self.n as f64;
+        // Tie-break toward balanced partitions: when several cuts achieve
+        // the same impurity (e.g. every depth-1 cut of XOR data), a balanced
+        // split gives the children the most room to improve.
+        let imbalance = (ln as f64 - rn as f64).abs() / self.n as f64;
+        Some((thr, score + imbalance * 1e-7))
+    }
+}
+
 fn gini(counts: &[usize], total: usize) -> f64 {
     if total == 0 {
         return 0.0;
@@ -265,45 +335,20 @@ fn build(
     };
     // Coarse scan with quantile-strided candidates, then a full-resolution
     // rescan around the winning position (so subsampling never misses a
-    // clean cut sitting between strides).
+    // clean cut sitting between strides). Candidate scoring uses one
+    // prefix-count sweep per feature (sort once, evaluate every threshold
+    // from cumulative class counts) instead of an O(n) rescan per
+    // candidate — the class counts, and therefore every Gini score, are
+    // the exact integers and floats the rescan produced.
     let mut best: Option<(f64, usize, f64, usize, usize)> = None; // (gini, f, thr, w, stride)
-    let evaluate = |f: usize, thr: f64| -> Option<f64> {
-        let mut lc = vec![0usize; data.n_classes];
-        let mut rc = vec![0usize; data.n_classes];
-        for &i in indices {
-            if data.x[i][f] <= thr {
-                lc[data.y[i]] += 1;
-            } else {
-                rc[data.y[i]] += 1;
-            }
-        }
-        let ln: usize = lc.iter().sum();
-        let rn: usize = rc.iter().sum();
-        if ln == 0 || rn == 0 {
-            return None;
-        }
-        let score = (ln as f64 * gini(&lc, ln) + rn as f64 * gini(&rc, rn)) / indices.len() as f64;
-        // Tie-break toward balanced partitions: when several cuts achieve
-        // the same impurity (e.g. every depth-1 cut of XOR data), a balanced
-        // split gives the children the most room to improve.
-        let imbalance = (ln as f64 - rn as f64).abs() / indices.len() as f64;
-        Some(score + imbalance * 1e-7)
-    };
-    let sorted_vals = |f: usize| {
-        let mut vals: Vec<f64> = indices.iter().map(|&i| data.x[i][f]).collect();
-        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        vals.dedup();
-        vals
-    };
     for &f in &features {
-        let vals = sorted_vals(f);
-        if vals.len() < 2 {
+        let sweep = Sweep::build(data, indices, f);
+        if sweep.vals.len() < 2 {
             continue;
         }
-        let stride = (vals.len() / params.max_thresholds).max(1);
-        for w in (0..vals.len() - 1).step_by(stride) {
-            let thr = (vals[w] + vals[w + 1]) / 2.0;
-            if let Some(score) = evaluate(f, thr) {
+        let stride = (sweep.vals.len() / params.max_thresholds).max(1);
+        for w in (0..sweep.vals.len() - 1).step_by(stride) {
+            if let Some((thr, score)) = sweep.eval(w, &counts) {
                 if best.is_none_or(|(b, ..)| score < b - 1e-15) {
                     best = Some((score, f, thr, w, stride));
                 }
@@ -313,12 +358,11 @@ fn build(
     // Local refinement of the winner.
     if let Some((_, f, _, w, stride)) = best {
         if stride > 1 {
-            let vals = sorted_vals(f);
+            let sweep = Sweep::build(data, indices, f);
             let lo = w.saturating_sub(stride);
-            let hi = (w + stride).min(vals.len() - 1);
+            let hi = (w + stride).min(sweep.vals.len() - 1);
             for v in lo..hi {
-                let thr = (vals[v] + vals[v + 1]) / 2.0;
-                if let Some(score) = evaluate(f, thr) {
+                if let Some((thr, score)) = sweep.eval(v, &counts) {
                     if best.is_none_or(|(b, ..)| score < b - 1e-15) {
                         best = Some((score, f, thr, v, stride));
                     }

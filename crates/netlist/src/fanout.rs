@@ -24,6 +24,22 @@ enum Reader {
     OutputBit(usize, usize),
 }
 
+/// Dense net → reading-gate index, shared with the worklist optimizer
+/// ([`crate::opt`]): `result[net][..]` lists every gate whose inputs
+/// reference the net. ROM address pins and output ports are not included —
+/// only gate-to-gate fanout, which is what incremental rewriting needs.
+pub(crate) fn gate_reader_index(module: &Module) -> Vec<Vec<u32>> {
+    let mut readers: Vec<Vec<u32>> = vec![Vec::new(); module.net_count()];
+    for (gi, g) in module.gates.iter().enumerate() {
+        for s in &g.inputs {
+            if let Signal::Net(n) = s {
+                readers[n.index()].push(gi as u32);
+            }
+        }
+    }
+    readers
+}
+
 /// Histogram of net fanouts: `result[k]` = number of nets read exactly `k`
 /// times (index 0 counts driven-but-unread nets).
 pub fn fanout_histogram(module: &Module) -> Vec<usize> {

@@ -60,7 +60,7 @@ pub use builder::NetlistBuilder;
 pub use fanout::{fanout_histogram, insert_buffers, max_fanout};
 pub use faults::{coverage as fault_coverage, Fault, FaultCoverage};
 pub use ir::{Gate, Module, NetId, Port, RomInstance, Signal};
-pub use opt::optimize;
+pub use opt::{cumulative_stats, optimize, optimize_with_stats, OptCumulative, OptStats};
 pub use sim::Simulator;
 pub use stats::{logic_levels, max_logic_levels};
 pub use testbench::to_testbench;

@@ -175,6 +175,43 @@ fn optimizer_preserves_function_of_random_circuits() {
     });
 }
 
+/// The worklist optimizer must be equivalence-preserving on the module
+/// family the flows actually feed it: raw bespoke tree and SVM netlists
+/// for arbitrary trained models, checked with the lane-parallel miter
+/// (`verify::check_equivalence`) rather than a hand-rolled simulation
+/// loop. Seeds come from `exec`'s SplitMix64 task streams, so every case
+/// reproduces from its printed index at any thread count.
+#[test]
+fn optimizer_is_equivalence_preserving_on_bespoke_models() {
+    use printed_ml::core::bespoke::{bespoke_parallel_raw, bespoke_svm_raw};
+    use printed_ml::netlist::{check_equivalence, Equivalence};
+    cases(0xB15_000B, 10, |case, rng| {
+        let data = random_dataset(rng);
+        let raw = if case % 2 == 0 {
+            let depth = rng.gen_range(1usize..=4);
+            let bits = rng.gen_range(3usize..=6);
+            let tree = DecisionTree::fit(&data, TreeParams::with_depth(depth));
+            let fq = FeatureQuantizer::fit(&data, bits);
+            bespoke_parallel_raw(&QuantizedTree::from_tree(&tree, &fq))
+        } else {
+            let svm = SvmRegressor::fit(&data, 60, 1e-3);
+            let fq = FeatureQuantizer::fit(&data, 5);
+            bespoke_svm_raw(&QuantizedSvm::from_svm(&svm, &fq))
+        };
+        let optimized = optimize(&raw);
+        assert!(optimized.gate_count() <= raw.gate_count(), "case {case}");
+        let verdict = check_equivalence(&raw, &optimized, 14, 512).expect("comparable ports");
+        match verdict {
+            Equivalence::Equivalent { vectors, .. } => {
+                assert!(vectors > 0, "case {case}: no vectors tried")
+            }
+            Equivalence::CounterExample(v) => {
+                panic!("case {case}: optimizer changed function at {v:?}")
+            }
+        }
+    });
+}
+
 #[test]
 fn quantizer_is_monotone_and_bounded() {
     cases(0xB15_0005, 24, |case, rng| {
