@@ -62,8 +62,11 @@ pub fn analyze_tree_variation(
     trials: usize,
     seed: u64,
 ) -> VariationReport {
+    let _span = obs::span("analog.variation");
     assert!(trials > 0, "need at least one trial");
     assert!(!rows.is_empty(), "need evaluation rows");
+    obs::counter_add("analog.variation.trials", trials as u64);
+    obs::counter_add("analog.variation.rows", (trials * rows.len()) as u64);
     let nominal = AnalogTree::from_tree(tree, AnalogTreeConfig::default());
     let device = Egt::default();
     let max_code = (1u64 << tree.bits()) - 1;

@@ -3,12 +3,16 @@
 //! application) plus the largest netlist in the evaluation, the
 //! conventional 16-class SVM (~438 k gates).
 //!
-//! Prints per-workload gates/sec and writes a `BENCH_opt.json` report so
-//! before/after numbers for optimizer changes are one `cargo run` away:
+//! Prints per-workload gates/sec and writes a `bench/out/BENCH_opt.json`
+//! report (path overridable with `--json`) so before/after numbers for
+//! optimizer changes are one `cargo run` away:
 //!
 //! ```text
 //! cargo run --release -p bench --bin opt_bench -- [--smoke] [--json PATH]
 //! ```
+//!
+//! The report carries the unified [`obs`] `report` section; see
+//! `docs/observability.md`.
 
 use ml::synth::Application;
 use netlist::{optimize_with_stats, Module};
@@ -39,6 +43,8 @@ struct Report {
     svm16_gates_per_sec: f64,
     total_gates_in: usize,
     total_seconds: f64,
+    /// Unified observability report (`obs-report-v1`).
+    report: obs::Report,
 }
 
 fn measure(name: String, module: &Module, results: &mut Vec<WorkloadResult>) {
@@ -63,7 +69,7 @@ fn measure(name: String, module: &Module, results: &mut Vec<WorkloadResult>) {
 
 fn main() {
     let mut smoke = false;
-    let mut json_path = "BENCH_opt.json".to_string();
+    let mut json_path = "bench/out/BENCH_opt.json".to_string();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -88,6 +94,8 @@ fn main() {
         i += 1;
     }
     bench::workloads::set_smoke(smoke);
+    obs::reset();
+    let root_span = obs::span("opt_bench");
 
     let apps: Vec<Application> = if smoke {
         vec![Application::Har, Application::RedWine]
@@ -106,6 +114,10 @@ fn main() {
     let svm16 = gen_svm(&SvmSpec::conventional(16));
     measure("conv-svm16".into(), &svm16, &mut results);
 
+    drop(root_span);
+    let obs_report = obs::report();
+    eprint!("{}", obs_report.text_summary());
+
     let svm16_gates_per_sec = results.last().map(|r| r.gates_per_sec).unwrap_or_default();
     let report = Report {
         smoke,
@@ -113,12 +125,18 @@ fn main() {
         total_seconds: results.iter().map(|r| r.seconds).sum(),
         svm16_gates_per_sec,
         workloads: results,
+        report: obs_report,
     };
     println!(
         "total: {} gates in {:.3}s; svm-16 at {:.0} gates/sec",
         report.total_gates_in, report.total_seconds, report.svm16_gates_per_sec
     );
     let body = serde_json::to_string_pretty(&report).expect("serialize report");
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).ok();
+        }
+    }
     if let Err(err) = std::fs::write(&json_path, body) {
         eprintln!("error: cannot write {json_path}: {err}");
         std::process::exit(1);

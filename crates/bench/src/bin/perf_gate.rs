@@ -1,0 +1,222 @@
+//! CI perf-regression gate over the smoke-mode benchmark reports.
+//!
+//! Reads the `repro_all --smoke --verify --json` and `opt_bench --smoke
+//! --json` reports, validates their unified [`obs`] `report` sections
+//! against the `obs-report-v1` schema, extracts the headline throughput
+//! metrics and compares them against the committed baseline
+//! (`bench/BENCH_baseline.json`). The process exits nonzero if any
+//! metric regresses by more than `--max-regress` (default 25%).
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf_gate -- \
+//!     [--repro PATH] [--opt PATH] [--baseline PATH] \
+//!     [--max-regress 0.25] [--refresh]
+//! ```
+//!
+//! Refresh the baseline (after an intentional perf change) with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_all -- --smoke --threads 2 --verify --json bench/out/smoke.json && cargo run --release -p bench --bin opt_bench -- --smoke --json bench/out/BENCH_opt_smoke.json && cargo run --release -p bench --bin perf_gate -- --refresh
+//! ```
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+/// Schema tag of the committed baseline file.
+const BASELINE_SCHEMA: &str = "perf-baseline-v1";
+
+/// The committed throughput baseline. All metrics are
+/// higher-is-better rates measured by the smoke workloads.
+#[derive(Debug, Serialize, Deserialize)]
+struct Baseline {
+    schema: String,
+    /// Worklist-optimizer throughput over the whole repro run
+    /// (`netlist.opt.gates_in / netlist.opt.ns`).
+    repro_opt_gates_per_sec: f64,
+    /// Equivalence-check throughput of the sign-off stage.
+    repro_verify_vectors_per_sec: f64,
+    /// Fault-grading throughput of the sign-off stage.
+    repro_verify_faults_per_sec: f64,
+    /// Optimizer throughput on the conventional SVM-16 netlist.
+    opt_svm16_gates_per_sec: f64,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("[perf_gate] error: {msg}");
+    std::process::exit(1);
+}
+
+fn load(path: &str) -> Value {
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|err| fail(&format!("cannot read {path}: {err}")));
+    serde_json::from_str(&body).unwrap_or_else(|err| fail(&format!("cannot parse {path}: {err}")))
+}
+
+/// Validates a bin report's `report` section: deserializes it into
+/// [`obs::Report`] (shape check) and asserts the schema tag and the
+/// presence of the counters the gate metrics are computed from.
+fn validate_obs_section(path: &str, root: &Value, required_counters: &[&str]) -> obs::Report {
+    let section = root
+        .get("report")
+        .unwrap_or_else(|| fail(&format!("{path}: missing `report` section")));
+    let report: obs::Report = serde_json::from_value(section)
+        .unwrap_or_else(|err| fail(&format!("{path}: bad `report` section: {err}")));
+    if report.schema != obs::SCHEMA {
+        fail(&format!(
+            "{path}: report schema {:?}, expected {:?}",
+            report.schema,
+            obs::SCHEMA
+        ));
+    }
+    if report.spans.is_empty() {
+        fail(&format!("{path}: report has no spans"));
+    }
+    for c in required_counters {
+        if report.counter(c) == 0 {
+            fail(&format!("{path}: counter {c} missing or zero"));
+        }
+    }
+    report
+}
+
+fn num(path: &str, root: &Value, keys: &[&str]) -> f64 {
+    let mut v = root;
+    for k in keys {
+        v = v
+            .get(k)
+            .unwrap_or_else(|| fail(&format!("{path}: missing field {}", keys.join("."))));
+    }
+    v.as_f64()
+        .unwrap_or_else(|| fail(&format!("{path}: field {} is not a number", keys.join("."))))
+}
+
+fn main() {
+    let mut repro_path = "bench/out/smoke.json".to_string();
+    let mut opt_path = "bench/out/BENCH_opt_smoke.json".to_string();
+    let mut baseline_path = "bench/BENCH_baseline.json".to_string();
+    let mut max_regress = 0.25f64;
+    let mut refresh = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    fn path_arg(args: &[String], i: &mut usize) -> String {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .unwrap_or_else(|| fail("flag requires a value"))
+    }
+    while i < args.len() {
+        match args[i].as_str() {
+            "--repro" => repro_path = path_arg(&args, &mut i),
+            "--opt" => opt_path = path_arg(&args, &mut i),
+            "--baseline" => baseline_path = path_arg(&args, &mut i),
+            "--max-regress" => {
+                i += 1;
+                max_regress = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r| (0.0..1.0).contains(r))
+                    .unwrap_or_else(|| fail("--max-regress requires a fraction in [0, 1)"));
+            }
+            "--refresh" => refresh = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: perf_gate [--repro PATH] [--opt PATH] [--baseline PATH] \
+                     [--max-regress F] [--refresh]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let repro = load(&repro_path);
+    let opt = load(&opt_path);
+    let repro_obs = validate_obs_section(
+        &repro_path,
+        &repro,
+        &[
+            "netlist.opt.calls",
+            "netlist.opt.gates_in",
+            "netlist.opt.ns",
+        ],
+    );
+    validate_obs_section(&opt_path, &opt, &["netlist.opt.calls", "netlist.opt.ns"]);
+    eprintln!("[perf_gate] obs report sections valid ({})", obs::SCHEMA);
+
+    let opt_secs = repro_obs.counter("netlist.opt.ns") as f64 * 1e-9;
+    let current = Baseline {
+        schema: BASELINE_SCHEMA.to_string(),
+        repro_opt_gates_per_sec: repro_obs.counter("netlist.opt.gates_in") as f64 / opt_secs,
+        repro_verify_vectors_per_sec: num(&repro_path, &repro, &["verify", "vectors_per_sec"]),
+        repro_verify_faults_per_sec: num(&repro_path, &repro, &["verify", "faults_per_sec"]),
+        opt_svm16_gates_per_sec: num(&opt_path, &opt, &["svm16_gates_per_sec"]),
+    };
+
+    if refresh {
+        let body = serde_json::to_string_pretty(&current).expect("serialize baseline");
+        if let Err(err) = std::fs::write(&baseline_path, body) {
+            fail(&format!("cannot write {baseline_path}: {err}"));
+        }
+        eprintln!("[perf_gate] wrote baseline {baseline_path}");
+        return;
+    }
+
+    let baseline: Baseline = serde_json::from_str(
+        &std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|err| fail(&format!("cannot read {baseline_path}: {err}"))),
+    )
+    .unwrap_or_else(|err| fail(&format!("cannot parse {baseline_path}: {err}")));
+    if baseline.schema != BASELINE_SCHEMA {
+        fail(&format!(
+            "{baseline_path}: baseline schema {:?}, expected {BASELINE_SCHEMA:?}",
+            baseline.schema
+        ));
+    }
+
+    let checks = [
+        (
+            "repro.opt_gates_per_sec",
+            current.repro_opt_gates_per_sec,
+            baseline.repro_opt_gates_per_sec,
+        ),
+        (
+            "repro.verify_vectors_per_sec",
+            current.repro_verify_vectors_per_sec,
+            baseline.repro_verify_vectors_per_sec,
+        ),
+        (
+            "repro.verify_faults_per_sec",
+            current.repro_verify_faults_per_sec,
+            baseline.repro_verify_faults_per_sec,
+        ),
+        (
+            "opt.svm16_gates_per_sec",
+            current.opt_svm16_gates_per_sec,
+            baseline.opt_svm16_gates_per_sec,
+        ),
+    ];
+    let floor = 1.0 - max_regress;
+    let mut failed = false;
+    for (name, cur, base) in checks {
+        let ratio = if base > 0.0 { cur / base } else { 1.0 };
+        let verdict = if ratio < floor { "FAIL" } else { "ok" };
+        failed |= ratio < floor;
+        eprintln!(
+            "[perf_gate] {verdict:>4}  {name:<32} {cur:>12.0} vs baseline {base:>12.0} ({:+.1}%)",
+            (ratio - 1.0) * 100.0
+        );
+    }
+    if failed {
+        eprintln!(
+            "[perf_gate] throughput regressed by more than {:.0}%; if intentional, refresh the \
+             baseline (see the one-line command in docs/observability.md)",
+            max_regress * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[perf_gate] all metrics within {:.0}% of baseline",
+        max_regress * 100.0
+    );
+}

@@ -18,8 +18,11 @@
 //!   (see [`bench::verify`]); the process exits nonzero if any
 //!   architecture disagrees with its unoptimized reference;
 //! - `--json PATH` — write the report (thread count, smoke flag,
-//!   per-experiment wall-clock seconds plus tables, and the `--verify`
-//!   section when requested) to `PATH`.
+//!   per-experiment wall-clock seconds plus tables, the `--verify`
+//!   section when requested, and the unified [`obs`] `report` section
+//!   with the span tree and pipeline counters) to `PATH`.
+//!
+//! See `docs/observability.md` for how to read the `report` section.
 
 use serde::Serialize;
 
@@ -34,12 +37,20 @@ struct ExperimentResult {
     name: &'static str,
     /// Wall-clock seconds the regenerator took (the only report field
     /// that varies between runs).
+    ///
+    /// Deprecated: superseded by the per-experiment spans under
+    /// `report.spans` (path `repro_all > <name>`); kept for one release
+    /// so downstream tooling can migrate.
     seconds: f64,
     tables: Vec<bench::Table>,
 }
 
 /// Cumulative logic-optimizer statistics over the whole run (every
 /// `netlist::optimize` call any experiment or the sign-off stage made).
+///
+/// Deprecated: superseded by the `netlist.opt.*` counters in the
+/// `report` section; kept for one release so downstream tooling can
+/// migrate.
 #[derive(Serialize)]
 struct OptimizerSection {
     calls: u64,
@@ -71,9 +82,15 @@ struct Report {
     smoke: bool,
     experiments: Vec<ExperimentResult>,
     /// Cumulative worklist-optimizer throughput for the run.
+    ///
+    /// Deprecated: superseded by the `netlist.opt.*` counters in
+    /// [`Report::report`]; kept for one release.
     optimizer: OptimizerSection,
     /// Sign-off outcomes (present with `--verify`).
     verify: Option<bench::verify::VerifyReport>,
+    /// Unified observability report (`obs-report-v1`): the hierarchical
+    /// span tree plus every pipeline counter and gauge.
+    report: obs::Report,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -111,6 +128,8 @@ fn main() {
         i += 1;
     }
     bench::workloads::set_smoke(smoke);
+    obs::reset();
+    let root_span = obs::span("repro_all");
 
     let experiments: Vec<Experiment> = vec![
         ("table1", e::table1),
@@ -139,6 +158,7 @@ fn main() {
         if smoke { " (smoke)" } else { "" }
     );
     let timed: Vec<(Vec<bench::Table>, f64)> = exec::parallel_map(&experiments, |_, &(name, f)| {
+        let _span = obs::span(name);
         let (tables, seconds) = exec::time(f);
         eprintln!("[repro] {name} finished in {seconds:.2}s");
         (tables, seconds)
@@ -156,6 +176,7 @@ fn main() {
         });
     }
     let verify_report = if verify {
+        let _span = obs::span("verify");
         let ((tables, report), seconds) = exec::time(bench::verify::run_verify);
         eprintln!("[repro] verify finished in {seconds:.2}s");
         for t in &tables {
@@ -165,6 +186,9 @@ fn main() {
     } else {
         None
     };
+    drop(root_span);
+    let obs_report = obs::report();
+    eprint!("{}", obs_report.text_summary());
 
     let optimizer = OptimizerSection::snapshot();
     eprintln!(
@@ -183,8 +207,14 @@ fn main() {
             experiments: results,
             optimizer,
             verify: verify_report.clone(),
+            report: obs_report,
         };
         let body = serde_json::to_string_pretty(&report).expect("serialize report");
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).ok();
+            }
+        }
         if let Err(err) = std::fs::write(&path, body) {
             eprintln!("error: cannot write {path}: {err}");
             std::process::exit(1);

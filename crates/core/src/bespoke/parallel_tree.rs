@@ -28,7 +28,8 @@ fn ceil_log2(n: usize) -> usize {
 /// Ports: `f{slot}` for each *used* feature (slot order =
 /// [`QuantizedTree::used_features`] order) and the `class` output.
 pub fn bespoke_parallel(tree: &QuantizedTree) -> Module {
-    optimize(&bespoke_parallel_raw(tree))
+    let _span = obs::span("gen.bespoke_parallel_tree");
+    crate::record_generated(optimize(&bespoke_parallel_raw(tree)))
 }
 
 /// The unoptimized bespoke parallel tree — the sign-off *reference*: the

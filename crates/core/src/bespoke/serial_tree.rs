@@ -43,9 +43,10 @@ fn ceil_log2(n: usize) -> usize {
 /// Generates the bespoke serial engine for `tree` and runs logic
 /// optimization over it.
 pub fn bespoke_serial(tree: &QuantizedTree) -> (SerialTreeSpec, Module) {
+    let _span = obs::span("gen.bespoke_serial_tree");
     let spec = bespoke_spec(tree);
     let prog = program(tree, &spec);
-    let module = optimize(&generate(&spec, &prog));
+    let module = crate::record_generated(optimize(&generate(&spec, &prog)));
     (spec, module)
 }
 

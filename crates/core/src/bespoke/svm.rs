@@ -25,7 +25,8 @@ use crate::conventional::svm::popcount;
 /// (`f` = original feature index), outputs `class` and the raw thermometer
 /// bits `therm`.
 pub fn bespoke_svm(svm: &QuantizedSvm) -> Module {
-    optimize(&bespoke_svm_raw(svm))
+    let _span = obs::span("gen.bespoke_svm");
+    crate::record_generated(optimize(&bespoke_svm_raw(svm)))
 }
 
 /// The unoptimized bespoke SVM engine — the sign-off *reference* the

@@ -45,6 +45,7 @@ impl ParallelTreeSpec {
 /// output. Nodes are numbered in heap order (root = 1); leaves 0-indexed
 /// left to right.
 pub fn generate(spec: &ParallelTreeSpec) -> Module {
+    let _span = obs::span("gen.conv_parallel_tree");
     let mut b = NetlistBuilder::new(format!("parallel_tree_d{}", spec.depth));
     let features: Vec<Vec<Signal>> = (0..spec.n_features)
         .map(|i| b.input(format!("f{i}"), spec.width))
@@ -100,7 +101,7 @@ pub fn generate(spec: &ParallelTreeSpec) -> Module {
     }
     let class = select(&mut b, 1, spec.depth, &decisions, &classes, n_leaves);
     b.output("class", &class);
-    b.finish()
+    crate::record_generated(b.finish())
 }
 
 #[cfg(test)]

@@ -132,6 +132,7 @@ fn feature_bits(n_features: usize) -> usize {
 /// combinational output `class`; plus `done` (the shift register's MSB).
 /// One inference takes `spec.depth` clock cycles after reset.
 pub fn generate(spec: &SerialTreeSpec, prog: &SerialTreeProgram) -> Module {
+    let _span = obs::span("gen.conv_serial_tree");
     let mut b = NetlistBuilder::new(format!("serial_tree_d{}", spec.depth));
     let fbits = feature_bits(spec.n_features);
 
@@ -182,7 +183,7 @@ pub fn generate(spec: &SerialTreeSpec, prog: &SerialTreeProgram) -> Module {
 
     b.output("class", &class);
     b.output("done", &[sr[spec.depth]]);
-    b.finish()
+    crate::record_generated(b.finish())
 }
 
 #[cfg(test)]

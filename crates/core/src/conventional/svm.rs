@@ -48,6 +48,7 @@ fn ceil_log2(n: usize) -> usize {
 /// `b{c}` boundary-load inputs, and outputs `sum` (the raw dot product)
 /// and `class` (thermometer count of crossed boundaries).
 pub fn generate(spec: &SvmSpec) -> Module {
+    let _span = obs::span("gen.conv_svm");
     let mut b = NetlistBuilder::new(format!("svm_{}b", spec.width));
     let sum_w = spec.sum_width();
 
@@ -76,7 +77,7 @@ pub fn generate(spec: &SvmSpec) -> Module {
 
     b.output("sum", &sum);
     b.output("class", &class);
-    b.finish()
+    crate::record_generated(b.finish())
 }
 
 /// Population count over single-bit signals (balanced adder tree).

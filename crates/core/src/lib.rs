@@ -49,6 +49,16 @@ pub mod report;
 pub mod signoff;
 pub mod system;
 
+/// Tallies one generated module into the obs metrics registry.
+///
+/// Every architecture generator funnels its finished [`netlist::Module`]
+/// through here so `gen.modules` / `gen.gates` count the whole run.
+pub(crate) fn record_generated(m: netlist::Module) -> netlist::Module {
+    obs::counter_add("gen.modules", 1);
+    obs::counter_add("gen.gates", m.gates.len() as u64);
+    m
+}
+
 pub use bitwidth::{choose_svm_width, choose_tree_width, WidthChoice, WIDTHS};
 pub use ensemble::{bespoke_forest, forest_engine, ForestStyle};
 pub use estimate::{estimate, ComponentCosts, CostEstimate};

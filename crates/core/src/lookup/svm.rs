@@ -23,7 +23,8 @@ use crate::conventional::svm::popcount;
 /// Ports match [`crate::bespoke::svm::bespoke_svm`]: `x{f}` inputs,
 /// `class` and `therm` outputs.
 pub fn lookup_svm(svm: &QuantizedSvm, config: LookupConfig) -> Module {
-    optimize(&lookup_svm_raw(svm, config))
+    let _span = obs::span("gen.lookup_svm");
+    crate::record_generated(optimize(&lookup_svm_raw(svm, config)))
 }
 
 /// The unoptimized lookup-based SVM engine — the sign-off *reference* the

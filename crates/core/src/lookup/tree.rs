@@ -30,7 +30,8 @@ fn ceil_log2(n: usize) -> usize {
 /// [`crate::bespoke::parallel_tree::bespoke_parallel`]: `f{slot}` per used
 /// feature and a `class` output.
 pub fn lookup_parallel(tree: &QuantizedTree, config: LookupConfig) -> Module {
-    optimize(&lookup_parallel_raw(tree, config))
+    let _span = obs::span("gen.lookup_parallel_tree");
+    crate::record_generated(optimize(&lookup_parallel_raw(tree, config)))
 }
 
 /// The unoptimized lookup-based parallel tree — the sign-off *reference*

@@ -7,6 +7,11 @@
 //! [`crate::seed::task_seed`] this makes every sweep bit-identical at
 //! any thread count.
 //!
+//! Every invocation reports per-task queue/run time and cumulative
+//! thread utilization through [`obs`] (`exec.*` counters, out-of-band
+//! from results), and re-installs the caller's span path on workers so
+//! task-side spans nest under the submitting span.
+//!
 //! Thread-count resolution, weakest to strongest:
 //!
 //! 1. hardware parallelism (`std::thread::available_parallelism`);
@@ -16,9 +21,37 @@
 //! 4. a scoped [`with_threads`] override on the current thread.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Pool invocations (serial fast path included).
+static POOLS: obs::Counter = obs::Counter::new("exec.pools");
+/// Tasks executed through [`parallel_map`].
+static TASKS: obs::Counter = obs::Counter::new("exec.tasks");
+/// Nanoseconds workers spent inside task closures.
+static BUSY_NS: obs::Counter = obs::Counter::new("exec.busy_ns");
+/// Nanoseconds tasks waited between pool entry and their start.
+static QUEUE_NS: obs::Counter = obs::Counter::new("exec.queue_ns");
+/// Worker-nanoseconds available (`workers x pool wall time`).
+static CAPACITY_NS: obs::Counter = obs::Counter::new("exec.capacity_ns");
+/// Cumulative thread utilization: `busy_ns / capacity_ns` over every
+/// pool invocation so far, in `[0, 1]`.
+static UTILIZATION: obs::Gauge = obs::Gauge::new("exec.utilization");
+
+/// Publishes one finished pool invocation's timing into the obs
+/// counters and refreshes the cumulative utilization gauge.
+fn record_pool(tasks: usize, busy_ns: u64, queue_ns: u64, capacity_ns: u64) {
+    POOLS.incr();
+    TASKS.add(tasks as u64);
+    BUSY_NS.add(busy_ns);
+    QUEUE_NS.add(queue_ns);
+    CAPACITY_NS.add(capacity_ns);
+    let capacity = CAPACITY_NS.get();
+    if capacity > 0 {
+        UTILIZATION.set((BUSY_NS.get() as f64 / capacity as f64).min(1.0));
+    }
+}
 
 /// Process-wide thread count; 0 means "not resolved yet".
 static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -92,28 +125,62 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let workers = threads().min(items.len());
+    let instrument = obs::enabled() && !items.is_empty();
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let start = Instant::now();
+        let out = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        if instrument {
+            let ns = start.elapsed().as_nanos() as u64;
+            record_pool(items.len(), ns, 0, ns);
+        }
+        return out;
     }
+    // Workers re-install the caller's span path so spans opened inside
+    // tasks nest under the logical caller, not under a detached root.
+    let span_path = obs::current_path();
     let next = AtomicUsize::new(0);
     let done = Mutex::new(Vec::with_capacity(items.len()));
+    let busy_ns = AtomicU64::new(0);
+    let queue_ns = AtomicU64::new(0);
+    let pool_start = Instant::now();
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| {
-                // Keep a small local buffer so the shared lock is taken
-                // once per task batch rather than once per result.
-                let mut local = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
+                obs::with_path(&span_path, || {
+                    // Keep a small local buffer so the shared lock is taken
+                    // once per task batch rather than once per result.
+                    let mut local = Vec::new();
+                    let (mut busy, mut queue) = (0u64, 0u64);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let task_start = Instant::now();
+                        if instrument {
+                            queue += (task_start - pool_start).as_nanos() as u64;
+                        }
+                        local.push((i, f(i, &items[i])));
+                        if instrument {
+                            busy += task_start.elapsed().as_nanos() as u64;
+                        }
                     }
-                    local.push((i, f(i, &items[i])));
-                }
-                done.lock().unwrap().append(&mut local);
+                    busy_ns.fetch_add(busy, Ordering::Relaxed);
+                    queue_ns.fetch_add(queue, Ordering::Relaxed);
+                    done.lock().unwrap().append(&mut local);
+                });
             });
         }
     });
+    if instrument {
+        let capacity = pool_start.elapsed().as_nanos() as u64 * workers as u64;
+        record_pool(
+            items.len(),
+            busy_ns.into_inner(),
+            queue_ns.into_inner(),
+            capacity,
+        );
+    }
     let mut indexed = done.into_inner().unwrap();
     debug_assert_eq!(indexed.len(), items.len());
     indexed.sort_unstable_by_key(|&(i, _)| i);

@@ -25,6 +25,9 @@ impl SvmRegressor {
     /// Squared loss is the ε=0 limit of ε-insensitive SVR loss; for the
     /// hardware study only the trained coefficient vector matters.
     pub fn fit(data: &Dataset, epochs: usize, l2: f64) -> Self {
+        let _span = obs::span("ml.svm.fit");
+        obs::counter_add("ml.svm.fits", 1);
+        obs::counter_add("ml.svm.epochs", epochs as u64);
         let d = data.n_features();
         let n = data.len() as f64;
         let mut w = vec![0.0; d];
@@ -96,6 +99,9 @@ pub struct SvmClassifier {
 impl SvmClassifier {
     /// Fits `k(k-1)/2` pairwise hinge-loss SVMs with Pegasos-style SGD.
     pub fn fit(data: &Dataset, epochs: usize, lambda: f64, seed: u64) -> Self {
+        let _span = obs::span("ml.svm.fit");
+        obs::counter_add("ml.svm.fits", 1);
+        obs::counter_add("ml.svm.epochs", epochs as u64);
         let mut machines = Vec::new();
         let mut rng = StdRng::seed_from_u64(seed);
         for a in 0..data.n_classes {

@@ -8,6 +8,30 @@
 
 use crate::data::Dataset;
 
+/// Trained CART fits (every `fit`/`fit_subset` call).
+static CART_FITS: obs::Counter = obs::Counter::new("ml.cart.fits");
+/// Nodes grown across all fits.
+static CART_NODES: obs::Counter = obs::Counter::new("ml.cart.nodes");
+/// Candidate thresholds scored by the split search across all fits.
+static CART_CANDIDATES: obs::Counter = obs::Counter::new("ml.cart.split_candidates");
+
+/// Split-search work done by one `fit` call, tallied locally and
+/// published to the [`obs`] counters once per fit (the per-candidate
+/// loop is far too hot for a process-wide counter update).
+#[derive(Default)]
+struct SearchTally {
+    nodes: u64,
+    candidates: u64,
+}
+
+impl SearchTally {
+    fn publish(&self) {
+        CART_FITS.incr();
+        CART_NODES.add(self.nodes);
+        CART_CANDIDATES.add(self.candidates);
+    }
+}
+
 /// A split in heap layout: `(position, feature, threshold)`.
 pub type HeapSplit = (usize, usize, f64);
 /// A leaf in heap layout: `(position, depth, class)`.
@@ -78,9 +102,20 @@ impl DecisionTree {
     /// Fits a tree on `data` with `params`. A depth-0 request yields a
     /// single majority-class leaf.
     pub fn fit(data: &Dataset, params: TreeParams) -> Self {
+        let _span = obs::span("ml.cart.fit");
         let indices: Vec<usize> = (0..data.len()).collect();
         let mut nodes = Vec::new();
-        build(data, &indices, params.max_depth, &params, &mut nodes, None);
+        let mut tally = SearchTally::default();
+        build(
+            data,
+            &indices,
+            params.max_depth,
+            &params,
+            &mut nodes,
+            None,
+            &mut tally,
+        );
+        tally.publish();
         DecisionTree {
             nodes,
             n_classes: data.n_classes,
@@ -96,7 +131,9 @@ impl DecisionTree {
         params: TreeParams,
         feature_subset: Option<&[usize]>,
     ) -> Self {
+        let _span = obs::span("ml.cart.fit");
         let mut nodes = Vec::new();
+        let mut tally = SearchTally::default();
         build(
             data,
             sample_indices,
@@ -104,7 +141,9 @@ impl DecisionTree {
             &params,
             &mut nodes,
             feature_subset,
+            &mut tally,
         );
+        tally.publish();
         DecisionTree {
             nodes,
             n_classes: data.n_classes,
@@ -312,7 +351,9 @@ fn build(
     params: &TreeParams,
     nodes: &mut Vec<TreeNode>,
     feature_subset: Option<&[usize]>,
+    tally: &mut SearchTally,
 ) -> usize {
+    tally.nodes += 1;
     let mut counts = vec![0usize; data.n_classes];
     for &i in indices {
         counts[data.y[i]] += 1;
@@ -348,6 +389,7 @@ fn build(
         }
         let stride = (sweep.vals.len() / params.max_thresholds).max(1);
         for w in (0..sweep.vals.len() - 1).step_by(stride) {
+            tally.candidates += 1;
             if let Some((thr, score)) = sweep.eval(w, &counts) {
                 if best.is_none_or(|(b, ..)| score < b - 1e-15) {
                     best = Some((score, f, thr, w, stride));
@@ -362,6 +404,7 @@ fn build(
             let lo = w.saturating_sub(stride);
             let hi = (w + stride).min(sweep.vals.len() - 1);
             for v in lo..hi {
+                tally.candidates += 1;
                 if let Some((thr, score)) = sweep.eval(v, &counts) {
                     if best.is_none_or(|(b, ..)| score < b - 1e-15) {
                         best = Some((score, f, thr, v, stride));
@@ -387,8 +430,24 @@ fn build(
         .partition(|&&i| data.x[i][feature] <= threshold);
     let me = nodes.len();
     nodes.push(TreeNode::Leaf { class: 0 }); // placeholder
-    let left = build(data, &li, depth_left - 1, params, nodes, feature_subset);
-    let right = build(data, &ri, depth_left - 1, params, nodes, feature_subset);
+    let left = build(
+        data,
+        &li,
+        depth_left - 1,
+        params,
+        nodes,
+        feature_subset,
+        tally,
+    );
+    let right = build(
+        data,
+        &ri,
+        depth_left - 1,
+        params,
+        nodes,
+        feature_subset,
+        tally,
+    );
     nodes[me] = TreeNode::Split {
         feature,
         threshold,

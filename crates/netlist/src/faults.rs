@@ -142,6 +142,7 @@ const SITES_PER_SHARD: usize = 32;
 /// Panics if the module is sequential (run the vectors through your own
 /// clocking harness instead) or a vector's arity is wrong.
 pub fn coverage(module: &Module, vectors: &[Vec<u64>]) -> FaultCoverage {
+    let _span = obs::span("netlist.faults.coverage");
     assert!(
         module.is_combinational(),
         "fault coverage supports combinational modules"
@@ -184,6 +185,9 @@ pub fn coverage(module: &Module, vectors: &[Vec<u64>]) -> FaultCoverage {
     });
     let verdicts: Vec<bool> = verdicts.concat();
     let detected = verdicts.iter().filter(|&&d| d).count();
+    obs::counter_add("netlist.faults.sites", sites.len() as u64);
+    obs::counter_add("netlist.faults.detected", detected as u64);
+    obs::counter_add("netlist.faults.vectors", vectors.len() as u64);
     let undetected = sites
         .iter()
         .zip(&verdicts)

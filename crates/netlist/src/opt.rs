@@ -32,7 +32,6 @@
 //! in function to the previous engine's output.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use pdk::CellKind;
@@ -105,22 +104,27 @@ impl OptCumulative {
     }
 }
 
-static CUM_CALLS: AtomicU64 = AtomicU64::new(0);
-static CUM_GATES_IN: AtomicU64 = AtomicU64::new(0);
-static CUM_GATES_OUT: AtomicU64 = AtomicU64::new(0);
-static CUM_REWRITES: AtomicU64 = AtomicU64::new(0);
-static CUM_NANOS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide optimizer metrics, kept in the [`obs`] observability
+/// layer (the former private atomics, absorbed so every binary's report
+/// shares one substrate).
+static OPT_CALLS: obs::Counter = obs::Counter::new("netlist.opt.calls");
+static OPT_GATES_IN: obs::Counter = obs::Counter::new("netlist.opt.gates_in");
+static OPT_GATES_OUT: obs::Counter = obs::Counter::new("netlist.opt.gates_out");
+static OPT_REWRITES: obs::Counter = obs::Counter::new("netlist.opt.rewrites");
+static OPT_NS: obs::Counter = obs::Counter::new("netlist.opt.ns");
 
 /// Cumulative statistics over every [`optimize`] call in this process,
-/// across all threads. `repro_all --json` snapshots this at the end of a
-/// run to report optimizer throughput alongside the experiment timings.
+/// across all threads — a snapshot of the `netlist.opt.*` [`obs`]
+/// counters (zeros while `obs::set_enabled(false)` suppresses
+/// collection). `repro_all --json` reports this as its `optimizer`
+/// section alongside the unified obs `report`.
 pub fn cumulative_stats() -> OptCumulative {
     OptCumulative {
-        calls: CUM_CALLS.load(Ordering::Relaxed),
-        gates_in: CUM_GATES_IN.load(Ordering::Relaxed),
-        gates_out: CUM_GATES_OUT.load(Ordering::Relaxed),
-        rewrites: CUM_REWRITES.load(Ordering::Relaxed),
-        seconds: CUM_NANOS.load(Ordering::Relaxed) as f64 * 1e-9,
+        calls: OPT_CALLS.get(),
+        gates_in: OPT_GATES_IN.get(),
+        gates_out: OPT_GATES_OUT.get(),
+        rewrites: OPT_REWRITES.get(),
+        seconds: OPT_NS.get() as f64 * 1e-9,
     }
 }
 
@@ -150,6 +154,7 @@ pub fn optimize(module: &Module) -> Module {
 
 /// Like [`optimize`], additionally returning per-call [`OptStats`].
 pub fn optimize_with_stats(module: &Module) -> (Module, OptStats) {
+    let _span = obs::span("netlist.optimize");
     let start = Instant::now();
     let mut engine = Engine::new(module);
     engine.run();
@@ -163,11 +168,11 @@ pub fn optimize_with_stats(module: &Module) -> (Module, OptStats) {
         dead,
         seconds: start.elapsed().as_secs_f64(),
     };
-    CUM_CALLS.fetch_add(1, Ordering::Relaxed);
-    CUM_GATES_IN.fetch_add(stats.gates_in as u64, Ordering::Relaxed);
-    CUM_GATES_OUT.fetch_add(stats.gates_out as u64, Ordering::Relaxed);
-    CUM_REWRITES.fetch_add(stats.rewrites() as u64, Ordering::Relaxed);
-    CUM_NANOS.fetch_add((stats.seconds * 1e9) as u64, Ordering::Relaxed);
+    OPT_CALLS.incr();
+    OPT_GATES_IN.add(stats.gates_in as u64);
+    OPT_GATES_OUT.add(stats.gates_out as u64);
+    OPT_REWRITES.add(stats.rewrites() as u64);
+    OPT_NS.add((stats.seconds * 1e9) as u64);
     debug_assert!(m.validate().is_ok(), "optimizer produced invalid module");
     #[cfg(debug_assertions)]
     assert_fixpoint(&m);

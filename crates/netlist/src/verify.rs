@@ -295,6 +295,21 @@ pub fn check_equivalence(
     exhaustive_limit: u32,
     samples: usize,
 ) -> Result<Equivalence, MiterError> {
+    let _span = obs::span("netlist.verify.equivalence");
+    let result = check_equivalence_inner(a, b, exhaustive_limit, samples);
+    if let Ok(eq) = &result {
+        obs::counter_add("netlist.verify.checks", 1);
+        obs::counter_add("netlist.verify.vectors", eq.vectors() as u64);
+    }
+    result
+}
+
+fn check_equivalence_inner(
+    a: &Module,
+    b: &Module,
+    exhaustive_limit: u32,
+    samples: usize,
+) -> Result<Equivalence, MiterError> {
     let m = miter(a, b)?;
     let total_bits: u32 = m.inputs.iter().map(|p| p.width() as u32).sum();
 

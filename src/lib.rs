@@ -20,7 +20,9 @@
 //! * [`core`] (crate `printed-core`) — the classifier architecture
 //!   generators and end-to-end flows;
 //! * [`exec`] — the deterministic parallel execution substrate (work
-//!   pool, seed streams, PRNG) every Monte Carlo sweep runs on.
+//!   pool, seed streams, PRNG) every Monte Carlo sweep runs on;
+//! * [`obs`] — the unified observability layer (span timers, counters,
+//!   gauges and the `obs-report-v1` report every bench binary emits).
 //!
 //! ## Quickstart
 //!
@@ -44,5 +46,6 @@ pub use analog;
 pub use exec;
 pub use ml;
 pub use netlist;
+pub use obs;
 pub use pdk;
 pub use printed_core as core;

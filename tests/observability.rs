@@ -1,0 +1,180 @@
+//! The observability layer's two contracts:
+//!
+//! 1. **Out-of-band**: instrumentation observes the pipeline but never
+//!    feeds back into it — an instrumented run produces bit-identical
+//!    results to an uninstrumented one at any thread count.
+//! 2. **Stable schema**: the `obs-report-v1` JSON shape (key sets and
+//!    value types, not values) is pinned so downstream tooling — the CI
+//!    perf gate above all — can parse any bin's `report` section.
+
+use std::sync::Mutex;
+
+use printed_ml::core::flow::{TreeArch, TreeFlow};
+use printed_ml::exec::with_threads;
+use printed_ml::ml::synth::Application;
+use printed_ml::netlist;
+use printed_ml::obs;
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+/// The obs registries are process-global; serialize every test that
+/// touches them.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Re-enables obs on drop so a failing test cannot leak a disabled
+/// registry into the next one.
+struct EnableGuard;
+impl Drop for EnableGuard {
+    fn drop(&mut self) {
+        obs::set_enabled(true);
+    }
+}
+
+/// One representative slice of the pipeline: train + quantize + generate
+/// (TreeFlow), then grade fault coverage — exercising CART fits, the
+/// optimizer, the batch simulator and the exec pool.
+fn pipeline_run() -> (usize, usize, Vec<netlist::Fault>) {
+    let flow = TreeFlow::new(Application::Cardio, 4, 7);
+    let module = flow.module(TreeArch::BespokeParallel).expect("digital");
+    let used = flow.qt.used_features();
+    let vectors: Vec<Vec<u64>> = flow
+        .test
+        .x
+        .iter()
+        .take(30)
+        .map(|row| {
+            let codes = flow.fq.code_row(row);
+            used.iter().map(|&f| codes[f]).collect()
+        })
+        .collect();
+    let cov = netlist::fault_coverage(&module, &vectors);
+    (cov.total, cov.detected, cov.undetected)
+}
+
+#[test]
+fn instrumented_runs_are_bit_identical_to_uninstrumented() {
+    let _lock = LOCK.lock().unwrap();
+    let _guard = EnableGuard;
+    for threads in [1, 4, 8] {
+        obs::set_enabled(true);
+        obs::reset();
+        let instrumented = with_threads(threads, pipeline_run);
+        assert!(
+            obs::report().counter("ml.cart.fits") > 0,
+            "instrumented arm recorded nothing"
+        );
+        obs::set_enabled(false);
+        obs::reset();
+        let bare = with_threads(threads, pipeline_run);
+        obs::set_enabled(true);
+        assert_eq!(
+            instrumented, bare,
+            "instrumentation changed results at {threads} thread(s)"
+        );
+    }
+}
+
+#[test]
+fn disabled_obs_records_nothing() {
+    let _lock = LOCK.lock().unwrap();
+    let _guard = EnableGuard;
+    obs::set_enabled(false);
+    obs::reset();
+    {
+        let _span = obs::span("ghost");
+        obs::counter_add("ghost.counter", 5);
+        obs::gauge_set("ghost.gauge", 1.0);
+    }
+    obs::set_enabled(true);
+    let report = obs::report();
+    assert!(report.spans.is_empty());
+    assert!(report.counters.is_empty());
+    assert!(report.gauges.is_empty());
+}
+
+#[test]
+fn exec_pool_counters_accumulate() {
+    let _lock = LOCK.lock().unwrap();
+    obs::reset();
+    let items: Vec<u64> = (0..64).collect();
+    let _span = obs::span("pool_test");
+    let out = with_threads(4, || printed_ml::exec::parallel_map(&items, |_, &x| x * 2));
+    assert_eq!(out[63], 126);
+    let report = obs::report();
+    assert_eq!(report.counter("exec.pools"), 1);
+    assert_eq!(report.counter("exec.tasks"), 64);
+    assert!(report.counter("exec.busy_ns") > 0);
+    let util = report.gauge("exec.utilization");
+    assert!((0.0..=1.0).contains(&util), "utilization {util}");
+    // Worker spans land under the caller's span path, not a detached root.
+    drop(_span);
+    let report = obs::report();
+    assert_eq!(report.spans.len(), 1);
+    assert_eq!(report.spans[0].name, "pool_test");
+}
+
+/// Asserts `value` is an object with exactly `keys`, returning the
+/// fields for nested checks.
+fn object_keys<'v>(value: &'v Value, keys: &[&str]) -> Vec<&'v Value> {
+    let Value::Object(fields) = value else {
+        panic!("expected object, got {value:?}");
+    };
+    let got: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(got, keys, "object key set drifted");
+    fields.iter().map(|(_, v)| v).collect()
+}
+
+#[test]
+fn report_json_schema_is_pinned() {
+    let _lock = LOCK.lock().unwrap();
+    obs::reset();
+    {
+        let _outer = obs::span("golden.outer");
+        let _inner = obs::span("golden.inner");
+        obs::counter_add("golden.counter", 3);
+        obs::gauge_set("golden.gauge", 0.5);
+    }
+    let report = obs::report();
+    let value = report.to_value();
+
+    // Top level: schema tag + the three sections, in order.
+    let fields = object_keys(&value, &["schema", "spans", "counters", "gauges"]);
+    assert_eq!(fields[0].as_str(), Some(obs::SCHEMA));
+    assert_eq!(fields[0].as_str(), Some("obs-report-v1"));
+
+    // Span nodes: name/calls/total_s/self_s/children, recursively.
+    let spans = fields[1].as_array().expect("spans is an array");
+    assert_eq!(spans.len(), 1);
+    let span_fields = object_keys(
+        &spans[0],
+        &["name", "calls", "total_s", "self_s", "children"],
+    );
+    assert_eq!(span_fields[0].as_str(), Some("golden.outer"));
+    assert_eq!(span_fields[1].as_u64(), Some(1));
+    assert!(span_fields[2].as_f64().is_some(), "total_s is a number");
+    assert!(span_fields[3].as_f64().is_some(), "self_s is a number");
+    let children = span_fields[4].as_array().expect("children is an array");
+    assert_eq!(children.len(), 1);
+    let child_fields = object_keys(
+        &children[0],
+        &["name", "calls", "total_s", "self_s", "children"],
+    );
+    assert_eq!(child_fields[0].as_str(), Some("golden.inner"));
+
+    // Counters: name/value pairs with integer values.
+    let counters = fields[2].as_array().expect("counters is an array");
+    let counter_fields = object_keys(&counters[0], &["name", "value"]);
+    assert_eq!(counter_fields[0].as_str(), Some("golden.counter"));
+    assert_eq!(counter_fields[1].as_u64(), Some(3));
+
+    // Gauges: name/value pairs with float values.
+    let gauges = fields[3].as_array().expect("gauges is an array");
+    let gauge_fields = object_keys(&gauges[0], &["name", "value"]);
+    assert_eq!(gauge_fields[0].as_str(), Some("golden.gauge"));
+    assert_eq!(gauge_fields[1].as_f64(), Some(0.5));
+
+    // And the schema round-trips: what a bin writes, the perf gate reads.
+    let parsed = obs::Report::from_value(&value).expect("deserialize report");
+    assert_eq!(parsed, report);
+}
