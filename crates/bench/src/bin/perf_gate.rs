@@ -1,29 +1,31 @@
 //! CI perf-regression gate over the smoke-mode benchmark reports.
 //!
-//! Reads the `repro_all --smoke --verify --json` and `opt_bench --smoke
-//! --json` reports, validates their unified [`obs`] `report` sections
-//! against the `obs-report-v1` schema, extracts the headline throughput
-//! metrics and compares them against the committed baseline
-//! (`bench/BENCH_baseline.json`). The process exits nonzero if any
-//! metric regresses by more than `--max-regress` (default 25%).
+//! Reads the `repro_all --smoke --verify --json`, `opt_bench --smoke
+//! --json` and `sim_bench --smoke --json` reports, validates their
+//! unified [`obs`] `report` sections against the `obs-report-v1` schema,
+//! extracts the headline throughput metrics and compares them against
+//! the committed baseline (`bench/BENCH_baseline.json`). The process
+//! exits nonzero if any metric regresses by more than `--max-regress`
+//! (default 25%).
 //!
 //! ```text
 //! cargo run --release -p bench --bin perf_gate -- \
-//!     [--repro PATH] [--opt PATH] [--baseline PATH] \
+//!     [--repro PATH] [--opt PATH] [--sim PATH] [--baseline PATH] \
 //!     [--max-regress 0.25] [--refresh]
 //! ```
 //!
 //! Refresh the baseline (after an intentional perf change) with:
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro_all -- --smoke --threads 2 --verify --json bench/out/smoke.json && cargo run --release -p bench --bin opt_bench -- --smoke --json bench/out/BENCH_opt_smoke.json && cargo run --release -p bench --bin perf_gate -- --refresh
+//! cargo run --release -p bench --bin repro_all -- --smoke --threads 2 --verify --json bench/out/smoke.json && cargo run --release -p bench --bin opt_bench -- --smoke --json bench/out/BENCH_opt_smoke.json && cargo run --release -p bench --bin sim_bench -- --smoke --json bench/out/BENCH_sim_smoke.json && cargo run --release -p bench --bin perf_gate -- --refresh
 //! ```
 
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 
-/// Schema tag of the committed baseline file.
-const BASELINE_SCHEMA: &str = "perf-baseline-v1";
+/// Schema tag of the committed baseline file (v2 added the compiled
+/// simulation-kernel metric).
+const BASELINE_SCHEMA: &str = "perf-baseline-v2";
 
 /// The committed throughput baseline. All metrics are
 /// higher-is-better rates measured by the smoke workloads.
@@ -39,6 +41,9 @@ struct Baseline {
     repro_verify_faults_per_sec: f64,
     /// Optimizer throughput on the conventional SVM-16 netlist.
     opt_svm16_gates_per_sec: f64,
+    /// Compiled 256-lane simulation throughput on the conventional
+    /// SVM-16 netlist (`sim_bench` headline).
+    sim_svm16_vectors_per_sec: f64,
 }
 
 fn fail(msg: &str) -> ! {
@@ -93,6 +98,7 @@ fn num(path: &str, root: &Value, keys: &[&str]) -> f64 {
 fn main() {
     let mut repro_path = "bench/out/smoke.json".to_string();
     let mut opt_path = "bench/out/BENCH_opt_smoke.json".to_string();
+    let mut sim_path = "bench/out/BENCH_sim_smoke.json".to_string();
     let mut baseline_path = "bench/BENCH_baseline.json".to_string();
     let mut max_regress = 0.25f64;
     let mut refresh = false;
@@ -108,6 +114,7 @@ fn main() {
         match args[i].as_str() {
             "--repro" => repro_path = path_arg(&args, &mut i),
             "--opt" => opt_path = path_arg(&args, &mut i),
+            "--sim" => sim_path = path_arg(&args, &mut i),
             "--baseline" => baseline_path = path_arg(&args, &mut i),
             "--max-regress" => {
                 i += 1;
@@ -121,8 +128,8 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: perf_gate [--repro PATH] [--opt PATH] [--baseline PATH] \
-                     [--max-regress F] [--refresh]"
+                    "usage: perf_gate [--repro PATH] [--opt PATH] [--sim PATH] \
+                     [--baseline PATH] [--max-regress F] [--refresh]"
                 );
                 std::process::exit(2);
             }
@@ -132,6 +139,7 @@ fn main() {
 
     let repro = load(&repro_path);
     let opt = load(&opt_path);
+    let sim = load(&sim_path);
     let repro_obs = validate_obs_section(
         &repro_path,
         &repro,
@@ -139,9 +147,22 @@ fn main() {
             "netlist.opt.calls",
             "netlist.opt.gates_in",
             "netlist.opt.ns",
+            "netlist.sim.compiles",
+            "netlist.sim.settles",
+            "netlist.sim.vectors",
         ],
     );
     validate_obs_section(&opt_path, &opt, &["netlist.opt.calls", "netlist.opt.ns"]);
+    validate_obs_section(
+        &sim_path,
+        &sim,
+        &[
+            "netlist.sim.compiles",
+            "netlist.sim.compile_ns",
+            "netlist.sim.settles",
+            "netlist.sim.vectors",
+        ],
+    );
     eprintln!("[perf_gate] obs report sections valid ({})", obs::SCHEMA);
 
     let opt_secs = repro_obs.counter("netlist.opt.ns") as f64 * 1e-9;
@@ -151,6 +172,7 @@ fn main() {
         repro_verify_vectors_per_sec: num(&repro_path, &repro, &["verify", "vectors_per_sec"]),
         repro_verify_faults_per_sec: num(&repro_path, &repro, &["verify", "faults_per_sec"]),
         opt_svm16_gates_per_sec: num(&opt_path, &opt, &["svm16_gates_per_sec"]),
+        sim_svm16_vectors_per_sec: num(&sim_path, &sim, &["svm16_vectors_per_sec"]),
     };
 
     if refresh {
@@ -194,6 +216,11 @@ fn main() {
             "opt.svm16_gates_per_sec",
             current.opt_svm16_gates_per_sec,
             baseline.opt_svm16_gates_per_sec,
+        ),
+        (
+            "sim.svm16_vectors_per_sec",
+            current.sim_svm16_vectors_per_sec,
+            baseline.sim_svm16_vectors_per_sec,
         ),
     ];
     let floor = 1.0 - max_regress;

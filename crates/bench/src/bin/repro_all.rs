@@ -18,9 +18,15 @@
 //!   (see [`bench::verify`]); the process exits nonzero if any
 //!   architecture disagrees with its unoptimized reference;
 //! - `--json PATH` — write the report (thread count, smoke flag,
-//!   per-experiment wall-clock seconds plus tables, the `--verify`
-//!   section when requested, and the unified [`obs`] `report` section
-//!   with the span tree and pipeline counters) to `PATH`.
+//!   per-experiment tables, the `--verify` section when requested, and
+//!   the unified [`obs`] `report` section with the span tree and
+//!   pipeline counters) to `PATH`.
+//!
+//! Timing and optimizer throughput live exclusively in the `report`
+//! section: per-experiment wall-clock under the `repro_all > <name>`
+//! spans, optimizer totals under the `netlist.opt.*` counters. (The
+//! deprecated top-level `seconds`/`optimizer` mirrors were removed after
+//! their one-release migration window, PR 4 → PR 7.)
 //!
 //! See `docs/observability.md` for how to read the `report` section.
 
@@ -31,48 +37,13 @@ use bench::experiments as e;
 /// A named experiment regenerator.
 type Experiment = (&'static str, fn() -> Vec<bench::Table>);
 
-/// One finished experiment in the JSON report.
+/// One finished experiment in the JSON report. Wall-clock timing lives
+/// in the `report` span tree, not here, so the experiment entries are
+/// bit-identical between runs.
 #[derive(Serialize)]
 struct ExperimentResult {
     name: &'static str,
-    /// Wall-clock seconds the regenerator took (the only report field
-    /// that varies between runs).
-    ///
-    /// Deprecated: superseded by the per-experiment spans under
-    /// `report.spans` (path `repro_all > <name>`); kept for one release
-    /// so downstream tooling can migrate.
-    seconds: f64,
     tables: Vec<bench::Table>,
-}
-
-/// Cumulative logic-optimizer statistics over the whole run (every
-/// `netlist::optimize` call any experiment or the sign-off stage made).
-///
-/// Deprecated: superseded by the `netlist.opt.*` counters in the
-/// `report` section; kept for one release so downstream tooling can
-/// migrate.
-#[derive(Serialize)]
-struct OptimizerSection {
-    calls: u64,
-    gates_in: u64,
-    gates_out: u64,
-    rewrites: u64,
-    seconds: f64,
-    gates_per_sec: f64,
-}
-
-impl OptimizerSection {
-    fn snapshot() -> Self {
-        let c = netlist::cumulative_stats();
-        OptimizerSection {
-            calls: c.calls,
-            gates_in: c.gates_in,
-            gates_out: c.gates_out,
-            rewrites: c.rewrites,
-            seconds: c.seconds,
-            gates_per_sec: c.gates_per_sec(),
-        }
-    }
 }
 
 /// The combined `--json` report.
@@ -81,11 +52,6 @@ struct Report {
     threads: usize,
     smoke: bool,
     experiments: Vec<ExperimentResult>,
-    /// Cumulative worklist-optimizer throughput for the run.
-    ///
-    /// Deprecated: superseded by the `netlist.opt.*` counters in
-    /// [`Report::report`]; kept for one release.
-    optimizer: OptimizerSection,
     /// Sign-off outcomes (present with `--verify`).
     verify: Option<bench::verify::VerifyReport>,
     /// Unified observability report (`obs-report-v1`): the hierarchical
@@ -157,23 +123,19 @@ fn main() {
         threads,
         if smoke { " (smoke)" } else { "" }
     );
-    let timed: Vec<(Vec<bench::Table>, f64)> = exec::parallel_map(&experiments, |_, &(name, f)| {
+    let finished: Vec<Vec<bench::Table>> = exec::parallel_map(&experiments, |_, &(name, f)| {
         let _span = obs::span(name);
         let (tables, seconds) = exec::time(f);
         eprintln!("[repro] {name} finished in {seconds:.2}s");
-        (tables, seconds)
+        tables
     });
 
     let mut results = Vec::with_capacity(experiments.len());
-    for (&(name, _), (tables, seconds)) in experiments.iter().zip(timed) {
+    for (&(name, _), tables) in experiments.iter().zip(finished) {
         for t in &tables {
             print!("{t}");
         }
-        results.push(ExperimentResult {
-            name,
-            seconds,
-            tables,
-        });
+        results.push(ExperimentResult { name, tables });
     }
     let verify_report = if verify {
         let _span = obs::span("verify");
@@ -190,22 +152,11 @@ fn main() {
     let obs_report = obs::report();
     eprint!("{}", obs_report.text_summary());
 
-    let optimizer = OptimizerSection::snapshot();
-    eprintln!(
-        "[repro] optimizer: {} calls, {} -> {} gates, {} rewrites in {:.2}s ({:.0} gates/sec)",
-        optimizer.calls,
-        optimizer.gates_in,
-        optimizer.gates_out,
-        optimizer.rewrites,
-        optimizer.seconds,
-        optimizer.gates_per_sec
-    );
     if let Some(path) = json_path {
         let report = Report {
             threads,
             smoke,
             experiments: results,
-            optimizer,
             verify: verify_report.clone(),
             report: obs_report,
         };

@@ -55,11 +55,16 @@ fn smoke_report_parses_and_covers_every_experiment() {
         .collect();
     assert_eq!(names, EXPECTED, "experiment list drifted");
     for e in experiments {
-        let seconds = e.get("seconds").and_then(|v| v.as_f64()).expect("seconds");
-        assert!(seconds >= 0.0);
+        // The deprecated per-experiment `seconds` mirror is gone; timing
+        // lives in the `report` span tree.
+        assert!(e.get("seconds").is_none(), "deprecated key is back: {e}");
         let tables = e.get("tables").and_then(|v| v.as_array()).expect("tables");
         assert!(!tables.is_empty(), "experiment produced no tables");
     }
+    assert!(
+        report.get("optimizer").is_none(),
+        "deprecated optimizer section is back"
+    );
 
     // The --verify sign-off section: every equivalence check passed and
     // both throughput metrics were recorded.

@@ -48,29 +48,47 @@ fn ceil_log2(n: usize) -> usize {
 /// `b{c}` boundary-load inputs, and outputs `sum` (the raw dot product)
 /// and `class` (thermometer count of crossed boundaries).
 pub fn generate(spec: &SvmSpec) -> Module {
+    generate_inner(spec, true)
+}
+
+/// Register-free variant of [`generate`]: the identical multiplier
+/// array, adder tree and class mapper, but features, coefficients and
+/// boundaries feed the datapath directly. The combinational core is the
+/// workload the simulation throughput benchmark (`sim_bench`) replays,
+/// since the batch kernels are combinational-only.
+pub fn generate_combinational(spec: &SvmSpec) -> Module {
+    generate_inner(spec, false)
+}
+
+fn generate_inner(spec: &SvmSpec, registered: bool) -> Module {
     let _span = obs::span("gen.conv_svm");
-    let mut b = NetlistBuilder::new(format!("svm_{}b", spec.width));
+    let mut b = NetlistBuilder::new(format!(
+        "svm_{}b{}",
+        spec.width,
+        if registered { "" } else { "_comb" }
+    ));
     let sum_w = spec.sum_width();
 
-    // Registered features and coefficients, one multiplier per feature.
+    // Features and coefficients (registered in the full engine), one
+    // multiplier per feature.
     let mut products = Vec::with_capacity(spec.n_features);
     for i in 0..spec.n_features {
         let x = b.input(format!("x{i}"), spec.width);
         let w = b.input(format!("w{i}"), spec.width);
-        let xr = b.register(&x, 0);
-        let wr = b.register(&w, 0);
+        let xr = if registered { b.register(&x, 0) } else { x };
+        let wr = if registered { b.register(&w, 0) } else { w };
         products.push(multiply(&mut b, &xr, &wr));
     }
     let mut sum = adder_tree(&mut b, &products);
     sum.truncate(sum_w);
     sum.resize(sum_w, Signal::ZERO);
 
-    // Class mapper: registered boundaries, one comparator each, and a
-    // population count of the thermometer bits.
+    // Class mapper: boundaries (registered in the full engine), one
+    // comparator each, and a population count of the thermometer bits.
     let mut thermometer = Vec::with_capacity(spec.n_boundaries);
     for c in 0..spec.n_boundaries {
         let bin = b.input(format!("b{c}"), sum_w);
-        let boundary = b.register(&bin, 0);
+        let boundary = if registered { b.register(&bin, 0) } else { bin };
         thermometer.push(unsigned_gt(&mut b, &sum, &boundary));
     }
     let class = popcount(&mut b, &thermometer);
@@ -120,6 +138,27 @@ mod tests {
         sim.settle();
         assert_eq!(sim.get("sum"), 43);
         assert_eq!(sim.get("class"), 2);
+    }
+
+    #[test]
+    fn combinational_variant_matches_the_registered_engine() {
+        let spec = SvmSpec {
+            width: 4,
+            n_features: 3,
+            n_boundaries: 2,
+        };
+        let m = generate_combinational(&spec);
+        assert!(m.is_combinational());
+        let mut sim = Simulator::new(&m);
+        for (i, (x, w)) in [(3u64, 5u64), (2, 7), (1, 4)].iter().enumerate() {
+            sim.set(&format!("x{i}"), *x);
+            sim.set(&format!("w{i}"), *w);
+        }
+        sim.set("b0", 30);
+        sim.set("b1", 40);
+        sim.settle(); // no load step: the datapath is unregistered
+        assert_eq!(sim.get("sum"), 33);
+        assert_eq!(sim.get("class"), 1);
     }
 
     #[test]

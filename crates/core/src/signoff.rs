@@ -58,6 +58,12 @@ impl SignoffRecord {
 }
 
 /// Runs one timed equivalence check between `reference` and `candidate`.
+///
+/// The underlying engine compiles the miter once and replays it over
+/// 256-lane shards; in the observability report the one-off tape build
+/// shows up under `netlist.sim.compile` and the settle volume under the
+/// `netlist.sim.settles` / `netlist.sim.vectors` counters, so compile
+/// time and simulation time are separable per check.
 pub fn signoff_pair(
     design: &str,
     check: &str,
@@ -66,6 +72,7 @@ pub fn signoff_pair(
     exhaustive_limit: u32,
     samples: usize,
 ) -> SignoffRecord {
+    let _span = obs::span("core.signoff.pair");
     let (verdict, seconds) =
         time(|| check_equivalence(reference, candidate, exhaustive_limit, samples));
     let (status, exhaustive, vectors) = match verdict {

@@ -4,23 +4,21 @@
 //! vector *k* — the classic parallel-pattern trick from fault simulation.
 //! Gate evaluation becomes one word-wide boolean op, so a combinational
 //! sweep over thousands of vectors runs ~64× faster than the scalar
-//! [`crate::sim::Simulator`]. ROM macros are evaluated per-lane (their
-//! addressing is not bitwise), which keeps them exact.
+//! [`crate::sim::Simulator`].
+//!
+//! [`BatchSimulator`] is the stable 64-lane API. Since the compiled
+//! kernel landed it is a thin wrapper over a
+//! [`crate::compile::CompiledNetlist`] tape replayed by a
+//! [`crate::compile::WideSim`]`<1>`; pipelines that want wider lanes or
+//! to share one compilation across threads use those types directly.
+//! The original interpreted engine survives as
+//! [`reference::InterpretedSimulator`] — the differential oracle the
+//! property tests and `sim_bench` measure the compiled kernel against.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use pdk::CellKind;
-
-use crate::ir::{Module, NetId, Signal};
-
-/// A word with the first `lanes` bits set (`lanes <= 64`).
-fn lane_mask(lanes: usize) -> u64 {
-    if lanes >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << lanes) - 1
-    }
-}
+use crate::compile::{CompiledNetlist, WideSim};
+use crate::ir::{Module, NetId};
 
 /// A 64-lane combinational batch simulator.
 ///
@@ -41,128 +39,31 @@ fn lane_mask(lanes: usize) -> u64 {
 /// assert_eq!(sim.lanes("y", 4), vec![0, 1, 1, 0]);
 /// ```
 #[derive(Debug)]
-pub struct BatchSimulator<'m> {
-    module: &'m Module,
-    /// Per-net lane words.
-    values: Vec<u64>,
-    order: Vec<usize>,
-    rom_order: Vec<(usize, usize)>,
-    input_ports: HashMap<String, Vec<NetId>>,
-    /// All input-port nets flattened in port-major, bit-minor order (the
-    /// layout [`Self::pack_vectors`] / [`Self::load_packed`] use).
-    input_nets: Vec<NetId>,
-    /// In-place stuck-at fault: index of the forced net (`usize::MAX` when
-    /// fault-free) and the lane word it is pinned to.
-    fault_net: usize,
-    fault_word: u64,
+pub struct BatchSimulator {
+    sim: WideSim<1>,
 }
 
-impl<'m> BatchSimulator<'m> {
-    /// Levelizes a *combinational* module for batch evaluation.
+impl BatchSimulator {
+    /// Compiles a *combinational* module for batch evaluation.
     ///
     /// # Panics
     /// Panics if the module is sequential or invalid.
-    pub fn new(module: &'m Module) -> Self {
-        assert!(
-            module.is_combinational(),
-            "batch simulation is combinational-only"
-        );
-        module
-            .validate()
-            .expect("batch-simulating an invalid module");
-        // Reuse the scalar simulator's proven levelization by doing a
-        // simple Kahn ordering over gates and ROMs.
-        let mut driver: HashMap<NetId, usize> = HashMap::new(); // net -> gate idx
-        let mut rom_driver: HashMap<NetId, usize> = HashMap::new();
-        for (i, g) in module.gates.iter().enumerate() {
-            driver.insert(g.output, i);
-        }
-        for (i, r) in module.roms.iter().enumerate() {
-            for n in &r.data {
-                rom_driver.insert(*n, i);
-            }
-        }
-        // Dependency edges: item depends on items driving its input nets.
-        #[derive(Clone, Copy, PartialEq)]
-        enum Mark {
-            White,
-            Grey,
-            Black,
-        }
-        let n_items = module.gates.len() + module.roms.len();
-        let mut marks = vec![Mark::White; n_items];
-        let item_of_net = |n: NetId| -> Option<usize> {
-            driver
-                .get(&n)
-                .copied()
-                .or_else(|| rom_driver.get(&n).map(|r| module.gates.len() + r))
-        };
-        let inputs_of = |item: usize| -> &[Signal] {
-            if item < module.gates.len() {
-                &module.gates[item].inputs
-            } else {
-                &module.roms[item - module.gates.len()].addr
-            }
-        };
-        let mut order = Vec::new();
-        let mut rom_order = Vec::new();
-        let mut stack: Vec<(usize, usize)> = Vec::new();
-        for root in 0..n_items {
-            if marks[root] != Mark::White {
-                continue;
-            }
-            marks[root] = Mark::Grey;
-            stack.push((root, 0));
-            while let Some(&mut (item, ref mut next)) = stack.last_mut() {
-                let ins = inputs_of(item);
-                if *next < ins.len() {
-                    let idx = *next;
-                    *next += 1;
-                    let Signal::Net(n) = ins[idx] else { continue };
-                    let Some(dep) = item_of_net(n) else { continue };
-                    match marks[dep] {
-                        Mark::Black => {}
-                        Mark::Grey => panic!("combinational cycle in batch simulation"),
-                        Mark::White => {
-                            marks[dep] = Mark::Grey;
-                            stack.push((dep, 0));
-                        }
-                    }
-                } else {
-                    marks[item] = Mark::Black;
-                    if item < module.gates.len() {
-                        order.push(item);
-                    } else {
-                        rom_order.push((order.len(), item - module.gates.len()));
-                    }
-                    stack.pop();
-                }
-            }
-        }
-
-        let input_ports: HashMap<String, Vec<NetId>> = module
-            .inputs
-            .iter()
-            .map(|p| {
-                let nets = p.bits.iter().map(|s| s.net().expect("input bit")).collect();
-                (p.name.clone(), nets)
-            })
-            .collect();
-        let input_nets = module
-            .inputs
-            .iter()
-            .flat_map(|p| p.bits.iter().map(|s| s.net().expect("input bit")))
-            .collect();
+    pub fn new(module: &Module) -> Self {
         BatchSimulator {
-            module,
-            values: vec![0; module.net_count()],
-            order,
-            rom_order,
-            input_ports,
-            input_nets,
-            fault_net: usize::MAX,
-            fault_word: 0,
+            sim: WideSim::new(Arc::new(CompiledNetlist::compile(module))),
         }
+    }
+
+    /// Wraps an already-compiled tape (shared across shards via `Arc`).
+    pub fn from_compiled(compiled: Arc<CompiledNetlist>) -> Self {
+        BatchSimulator {
+            sim: WideSim::new(compiled),
+        }
+    }
+
+    /// The compiled tape this simulator replays.
+    pub fn compiled(&self) -> &CompiledNetlist {
+        self.sim.compiled()
     }
 
     /// Drives input port `name` with up to 64 per-lane values.
@@ -170,26 +71,7 @@ impl<'m> BatchSimulator<'m> {
     /// # Panics
     /// Panics if the port does not exist or more than 64 lanes are given.
     pub fn set_lanes(&mut self, name: &str, lane_values: &[u64]) {
-        assert!(lane_values.len() <= 64, "at most 64 lanes");
-        // Split borrows: the port map is read while the value array is
-        // written, so no clone of the net list is needed.
-        let Self {
-            values,
-            input_ports,
-            ..
-        } = self;
-        let nets = input_ports
-            .get(name)
-            .unwrap_or_else(|| panic!("no input port named {name}"));
-        for (bit, net) in nets.iter().enumerate() {
-            let mut word = 0u64;
-            for (lane, &v) in lane_values.iter().enumerate() {
-                if (v >> bit) & 1 == 1 {
-                    word |= 1 << lane;
-                }
-            }
-            values[net.index()] = word;
-        }
+        self.sim.set_lanes(name, lane_values);
     }
 
     /// Transposes a chunk of up to 64 input vectors (one value per input
@@ -202,24 +84,7 @@ impl<'m> BatchSimulator<'m> {
     /// Panics if more than 64 vectors are given or a vector's arity is
     /// wrong.
     pub fn pack_vectors(&self, chunk: &[Vec<u64>]) -> Vec<u64> {
-        assert!(chunk.len() <= 64, "at most 64 lanes");
-        for v in chunk {
-            assert_eq!(v.len(), self.module.inputs.len(), "vector arity mismatch");
-        }
-        let mut words = vec![0u64; self.input_nets.len()];
-        let mut base = 0usize;
-        for (pi, port) in self.module.inputs.iter().enumerate() {
-            for (lane, v) in chunk.iter().enumerate() {
-                let value = v[pi];
-                for bit in 0..port.width() {
-                    if (value >> bit) & 1 == 1 {
-                        words[base + bit] |= 1 << lane;
-                    }
-                }
-            }
-            base += port.width();
-        }
-        words
+        self.sim.pack_vectors(chunk).iter().map(|w| w[0]).collect()
     }
 
     /// Loads an input image produced by [`Self::pack_vectors`].
@@ -227,10 +92,8 @@ impl<'m> BatchSimulator<'m> {
     /// # Panics
     /// Panics if the image length does not match the module's input bits.
     pub fn load_packed(&mut self, words: &[u64]) {
-        assert_eq!(words.len(), self.input_nets.len(), "packed image length");
-        for (net, &word) in self.input_nets.iter().zip(words) {
-            self.values[net.index()] = word;
-        }
+        let image: Vec<[u64; 1]> = words.iter().map(|&w| [w]).collect();
+        self.sim.load_packed(&image);
     }
 
     /// Pins `net` to a stuck-at constant: every subsequent [`Self::settle`]
@@ -238,166 +101,420 @@ impl<'m> BatchSimulator<'m> {
     /// cloning or re-levelizing anything. Replaces any previously injected
     /// fault.
     pub fn inject_fault(&mut self, net: NetId, stuck_at: bool) {
-        self.fault_net = net.index();
-        self.fault_word = if stuck_at { u64::MAX } else { 0 };
+        self.sim.inject_fault(net, stuck_at);
     }
 
     /// Removes the injected fault, returning to fault-free simulation.
     pub fn clear_fault(&mut self) {
-        self.fault_net = usize::MAX;
+        self.sim.clear_fault();
     }
 
     /// Evaluates all gates and ROMs once (levelized order), honoring any
     /// injected stuck-at fault.
     pub fn settle(&mut self) {
-        let module = self.module;
-        // A stuck input (or any net) is forced before evaluation; stuck
-        // gate/ROM outputs are skipped in the loops below so the forced
-        // word survives the pass.
-        if self.fault_net != usize::MAX {
-            self.values[self.fault_net] = self.fault_word;
-        }
-        // Interleave ROM evaluations at their recorded positions so data
-        // dependencies hold: ROMs scheduled before gate `order[k]` are
-        // evaluated when the cursor reaches k.
-        let mut rom_cursor = 0usize;
-        for pos in 0..self.order.len() {
-            let gi = self.order[pos];
-            while rom_cursor < self.rom_order.len() && self.rom_order[rom_cursor].0 <= pos {
-                let ri = self.rom_order[rom_cursor].1;
-                self.eval_rom(ri);
-                rom_cursor += 1;
-            }
-            let g = &module.gates[gi];
-            let out = g.output.index();
-            if out == self.fault_net {
-                continue;
-            }
-            let v = self.eval_gate(g.kind, &g.inputs);
-            self.values[out] = v;
-        }
-        while rom_cursor < self.rom_order.len() {
-            let ri = self.rom_order[rom_cursor].1;
-            self.eval_rom(ri);
-            rom_cursor += 1;
-        }
+        self.sim.settle();
     }
 
     /// Reads output port `name` for the first `lanes` lanes.
     pub fn lanes(&self, name: &str, lanes: usize) -> Vec<u64> {
-        let port = self
-            .module
-            .output(name)
-            .unwrap_or_else(|| panic!("no output port named {name}"));
-        (0..lanes)
-            .map(|lane| {
-                let mut v = 0u64;
-                for (bit, sig) in port.bits.iter().enumerate() {
-                    if self.read_lane(*sig, lane) {
-                        v |= 1 << bit;
-                    }
-                }
-                v
-            })
-            .collect()
+        self.sim.lanes(name, lanes)
     }
 
     /// Lane words of every output-port bit (port-major, bit-minor), masked
     /// to the first `lanes` lanes — a module's full response image, in the
     /// layout [`Self::outputs_match`] compares against.
     pub fn output_words(&self, lanes: usize) -> Vec<u64> {
-        let mask = lane_mask(lanes);
-        self.module
-            .outputs
-            .iter()
-            .flat_map(|p| p.bits.iter().map(move |&s| self.read(s) & mask))
-            .collect()
+        self.sim.output_words(lanes)
     }
 
     /// Compares the current response image against `expected` (produced by
     /// [`Self::output_words`] with the same `lanes`) without allocating —
     /// the detection test in the fault-grading hot loop.
     pub fn outputs_match(&self, expected: &[u64], lanes: usize) -> bool {
-        let mask = lane_mask(lanes);
-        let mut it = expected.iter();
-        for p in &self.module.outputs {
-            for &s in &p.bits {
-                let Some(&want) = it.next() else { return false };
-                if self.read(s) & mask != want {
-                    return false;
+        self.sim.outputs_match(expected, lanes)
+    }
+}
+
+pub mod reference {
+    //! The original interpreted 64-lane engine, retained verbatim as a
+    //! differential oracle: one `CellKind` dispatch and `Signal` match
+    //! per gate per pass, per-lane scalar ROM addressing, no compiled
+    //! tape. The workspace property tests pin the compiled kernel
+    //! against it, and `sim_bench` reports the compiled kernel's
+    //! speedup over it.
+
+    use std::collections::HashMap;
+
+    use pdk::CellKind;
+
+    use crate::ir::{Module, NetId, Signal};
+
+    /// A word with the first `lanes` bits set (`lanes <= 64`).
+    fn lane_mask(lanes: usize) -> u64 {
+        if lanes >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        }
+    }
+
+    /// The interpreted 64-lane batch simulator (pre-compilation engine).
+    ///
+    /// API-compatible with [`super::BatchSimulator`] so the two can be
+    /// driven side by side; it borrows the module instead of compiling
+    /// it.
+    #[derive(Debug)]
+    pub struct InterpretedSimulator<'m> {
+        module: &'m Module,
+        /// Per-net lane words.
+        values: Vec<u64>,
+        order: Vec<usize>,
+        rom_order: Vec<(usize, usize)>,
+        input_ports: HashMap<String, Vec<NetId>>,
+        /// All input-port nets flattened in port-major, bit-minor order
+        /// (the layout `pack_vectors` / `load_packed` use).
+        input_nets: Vec<NetId>,
+        /// In-place stuck-at fault: index of the forced net (`usize::MAX`
+        /// when fault-free) and the lane word it is pinned to.
+        fault_net: usize,
+        fault_word: u64,
+    }
+
+    impl<'m> InterpretedSimulator<'m> {
+        /// Levelizes a *combinational* module for interpreted evaluation.
+        ///
+        /// # Panics
+        /// Panics if the module is sequential or invalid.
+        pub fn new(module: &'m Module) -> Self {
+            assert!(
+                module.is_combinational(),
+                "batch simulation is combinational-only"
+            );
+            module
+                .validate()
+                .expect("batch-simulating an invalid module");
+            let mut driver: HashMap<NetId, usize> = HashMap::new(); // net -> gate idx
+            let mut rom_driver: HashMap<NetId, usize> = HashMap::new();
+            for (i, g) in module.gates.iter().enumerate() {
+                driver.insert(g.output, i);
+            }
+            for (i, r) in module.roms.iter().enumerate() {
+                for n in &r.data {
+                    rom_driver.insert(*n, i);
+                }
+            }
+            // Dependency edges: item depends on items driving its inputs.
+            #[derive(Clone, Copy, PartialEq)]
+            enum Mark {
+                White,
+                Grey,
+                Black,
+            }
+            let n_items = module.gates.len() + module.roms.len();
+            let mut marks = vec![Mark::White; n_items];
+            let item_of_net = |n: NetId| -> Option<usize> {
+                driver
+                    .get(&n)
+                    .copied()
+                    .or_else(|| rom_driver.get(&n).map(|r| module.gates.len() + r))
+            };
+            let inputs_of = |item: usize| -> &[Signal] {
+                if item < module.gates.len() {
+                    &module.gates[item].inputs
+                } else {
+                    &module.roms[item - module.gates.len()].addr
+                }
+            };
+            let mut order = Vec::new();
+            let mut rom_order = Vec::new();
+            let mut stack: Vec<(usize, usize)> = Vec::new();
+            for root in 0..n_items {
+                if marks[root] != Mark::White {
+                    continue;
+                }
+                marks[root] = Mark::Grey;
+                stack.push((root, 0));
+                while let Some(&mut (item, ref mut next)) = stack.last_mut() {
+                    let ins = inputs_of(item);
+                    if *next < ins.len() {
+                        let idx = *next;
+                        *next += 1;
+                        let Signal::Net(n) = ins[idx] else { continue };
+                        let Some(dep) = item_of_net(n) else { continue };
+                        match marks[dep] {
+                            Mark::Black => {}
+                            Mark::Grey => panic!("combinational cycle in batch simulation"),
+                            Mark::White => {
+                                marks[dep] = Mark::Grey;
+                                stack.push((dep, 0));
+                            }
+                        }
+                    } else {
+                        marks[item] = Mark::Black;
+                        if item < module.gates.len() {
+                            order.push(item);
+                        } else {
+                            rom_order.push((order.len(), item - module.gates.len()));
+                        }
+                        stack.pop();
+                    }
+                }
+            }
+
+            let input_ports: HashMap<String, Vec<NetId>> = module
+                .inputs
+                .iter()
+                .map(|p| {
+                    let nets = p.bits.iter().map(|s| s.net().expect("input bit")).collect();
+                    (p.name.clone(), nets)
+                })
+                .collect();
+            let input_nets = module
+                .inputs
+                .iter()
+                .flat_map(|p| p.bits.iter().map(|s| s.net().expect("input bit")))
+                .collect();
+            InterpretedSimulator {
+                module,
+                values: vec![0; module.net_count()],
+                order,
+                rom_order,
+                input_ports,
+                input_nets,
+                fault_net: usize::MAX,
+                fault_word: 0,
+            }
+        }
+
+        /// Drives input port `name` with up to 64 per-lane values.
+        ///
+        /// # Panics
+        /// Panics if the port does not exist or more than 64 lanes are
+        /// given.
+        pub fn set_lanes(&mut self, name: &str, lane_values: &[u64]) {
+            assert!(lane_values.len() <= 64, "at most 64 lanes");
+            // Split borrows: the port map is read while the value array
+            // is written, so no clone of the net list is needed.
+            let Self {
+                values,
+                input_ports,
+                ..
+            } = self;
+            let nets = input_ports
+                .get(name)
+                .unwrap_or_else(|| panic!("no input port named {name}"));
+            for (bit, net) in nets.iter().enumerate() {
+                let mut word = 0u64;
+                for (lane, &v) in lane_values.iter().enumerate() {
+                    if (v >> bit) & 1 == 1 {
+                        word |= 1 << lane;
+                    }
+                }
+                values[net.index()] = word;
+            }
+        }
+
+        /// Transposes up to 64 input vectors into per-input-net lane
+        /// words (see [`super::BatchSimulator::pack_vectors`]).
+        ///
+        /// # Panics
+        /// Panics if more than 64 vectors are given or a vector's arity
+        /// is wrong.
+        pub fn pack_vectors(&self, chunk: &[Vec<u64>]) -> Vec<u64> {
+            assert!(chunk.len() <= 64, "at most 64 lanes");
+            for v in chunk {
+                assert_eq!(v.len(), self.module.inputs.len(), "vector arity mismatch");
+            }
+            let mut words = vec![0u64; self.input_nets.len()];
+            let mut base = 0usize;
+            for (pi, port) in self.module.inputs.iter().enumerate() {
+                for (lane, v) in chunk.iter().enumerate() {
+                    let value = v[pi];
+                    for bit in 0..port.width() {
+                        if (value >> bit) & 1 == 1 {
+                            words[base + bit] |= 1 << lane;
+                        }
+                    }
+                }
+                base += port.width();
+            }
+            words
+        }
+
+        /// Loads an input image produced by [`Self::pack_vectors`].
+        ///
+        /// # Panics
+        /// Panics if the image length does not match the module's input
+        /// bits.
+        pub fn load_packed(&mut self, words: &[u64]) {
+            assert_eq!(words.len(), self.input_nets.len(), "packed image length");
+            for (net, &word) in self.input_nets.iter().zip(words) {
+                self.values[net.index()] = word;
+            }
+        }
+
+        /// Pins `net` to a stuck-at constant across all lanes.
+        pub fn inject_fault(&mut self, net: NetId, stuck_at: bool) {
+            self.fault_net = net.index();
+            self.fault_word = if stuck_at { u64::MAX } else { 0 };
+        }
+
+        /// Removes the injected fault.
+        pub fn clear_fault(&mut self) {
+            self.fault_net = usize::MAX;
+        }
+
+        /// Evaluates all gates and ROMs once (levelized order), honoring
+        /// any injected stuck-at fault.
+        pub fn settle(&mut self) {
+            let module = self.module;
+            // A stuck input (or any net) is forced before evaluation;
+            // stuck gate/ROM outputs are skipped in the loops below so
+            // the forced word survives the pass.
+            if self.fault_net != usize::MAX {
+                self.values[self.fault_net] = self.fault_word;
+            }
+            // Interleave ROM evaluations at their recorded positions so
+            // data dependencies hold: ROMs scheduled before gate
+            // `order[k]` are evaluated when the cursor reaches k.
+            let mut rom_cursor = 0usize;
+            for pos in 0..self.order.len() {
+                let gi = self.order[pos];
+                while rom_cursor < self.rom_order.len() && self.rom_order[rom_cursor].0 <= pos {
+                    let ri = self.rom_order[rom_cursor].1;
+                    self.eval_rom(ri);
+                    rom_cursor += 1;
+                }
+                let g = &module.gates[gi];
+                let out = g.output.index();
+                if out == self.fault_net {
+                    continue;
+                }
+                let v = self.eval_gate(g.kind, &g.inputs);
+                self.values[out] = v;
+            }
+            while rom_cursor < self.rom_order.len() {
+                let ri = self.rom_order[rom_cursor].1;
+                self.eval_rom(ri);
+                rom_cursor += 1;
+            }
+        }
+
+        /// Reads output port `name` for the first `lanes` lanes.
+        pub fn lanes(&self, name: &str, lanes: usize) -> Vec<u64> {
+            let port = self
+                .module
+                .output(name)
+                .unwrap_or_else(|| panic!("no output port named {name}"));
+            (0..lanes)
+                .map(|lane| {
+                    let mut v = 0u64;
+                    for (bit, sig) in port.bits.iter().enumerate() {
+                        if self.read_lane(*sig, lane) {
+                            v |= 1 << bit;
+                        }
+                    }
+                    v
+                })
+                .collect()
+        }
+
+        /// Lane words of every output-port bit (port-major, bit-minor),
+        /// masked to the first `lanes` lanes.
+        pub fn output_words(&self, lanes: usize) -> Vec<u64> {
+            let mask = lane_mask(lanes);
+            self.module
+                .outputs
+                .iter()
+                .flat_map(|p| p.bits.iter().map(move |&s| self.read(s) & mask))
+                .collect()
+        }
+
+        /// Compares the current response image against `expected`.
+        pub fn outputs_match(&self, expected: &[u64], lanes: usize) -> bool {
+            let mask = lane_mask(lanes);
+            let mut it = expected.iter();
+            for p in &self.module.outputs {
+                for &s in &p.bits {
+                    let Some(&want) = it.next() else { return false };
+                    if self.read(s) & mask != want {
+                        return false;
+                    }
+                }
+            }
+            it.next().is_none()
+        }
+
+        fn read(&self, s: Signal) -> u64 {
+            match s {
+                Signal::Const(false) => 0,
+                Signal::Const(true) => u64::MAX,
+                Signal::Net(n) => self.values[n.index()],
+            }
+        }
+
+        fn read_lane(&self, s: Signal, lane: usize) -> bool {
+            (self.read(s) >> lane) & 1 == 1
+        }
+
+        fn eval_gate(&self, kind: CellKind, inputs: &[Signal]) -> u64 {
+            let a = self.read(inputs[0]);
+            match kind {
+                CellKind::Inv => !a,
+                CellKind::Buf => a,
+                CellKind::Nand2 => !(a & self.read(inputs[1])),
+                CellKind::Nor2 => !(a | self.read(inputs[1])),
+                CellKind::And2 => a & self.read(inputs[1]),
+                CellKind::Or2 => a | self.read(inputs[1]),
+                CellKind::Xor2 => a ^ self.read(inputs[1]),
+                CellKind::Xnor2 => !(a ^ self.read(inputs[1])),
+                CellKind::Mux2 => {
+                    let sel = a;
+                    let x = self.read(inputs[1]);
+                    let y = self.read(inputs[2]);
+                    (!sel & x) | (sel & y)
+                }
+                CellKind::Dff | CellKind::RomBit | CellKind::RomDot => {
+                    unreachable!("not combinational cells")
                 }
             }
         }
-        it.next().is_none()
-    }
 
-    fn read(&self, s: Signal) -> u64 {
-        match s {
-            Signal::Const(false) => 0,
-            Signal::Const(true) => u64::MAX,
-            Signal::Net(n) => self.values[n.index()],
-        }
-    }
-
-    fn read_lane(&self, s: Signal, lane: usize) -> bool {
-        (self.read(s) >> lane) & 1 == 1
-    }
-
-    fn eval_gate(&self, kind: CellKind, inputs: &[Signal]) -> u64 {
-        let a = self.read(inputs[0]);
-        match kind {
-            CellKind::Inv => !a,
-            CellKind::Buf => a,
-            CellKind::Nand2 => !(a & self.read(inputs[1])),
-            CellKind::Nor2 => !(a | self.read(inputs[1])),
-            CellKind::And2 => a & self.read(inputs[1]),
-            CellKind::Or2 => a | self.read(inputs[1]),
-            CellKind::Xor2 => a ^ self.read(inputs[1]),
-            CellKind::Xnor2 => !(a ^ self.read(inputs[1])),
-            CellKind::Mux2 => {
-                let sel = a;
-                let x = self.read(inputs[1]);
-                let y = self.read(inputs[2]);
-                (!sel & x) | (sel & y)
-            }
-            CellKind::Dff | CellKind::RomBit | CellKind::RomDot => {
-                unreachable!("not combinational cells")
-            }
-        }
-    }
-
-    fn eval_rom(&mut self, ri: usize) {
-        let rom = &self.module.roms[ri];
-        // Per-lane addressing.
-        let mut words = [0u64; 64];
-        for (lane, word) in words.iter_mut().enumerate() {
-            let mut addr = 0usize;
-            for (bit, s) in rom.addr.iter().enumerate() {
-                if self.read_lane(*s, lane) {
-                    addr |= 1 << bit;
+        fn eval_rom(&mut self, ri: usize) {
+            let rom = &self.module.roms[ri];
+            // Per-lane addressing.
+            let mut words = [0u64; 64];
+            for (lane, word) in words.iter_mut().enumerate() {
+                let mut addr = 0usize;
+                for (bit, s) in rom.addr.iter().enumerate() {
+                    if self.read_lane(*s, lane) {
+                        addr |= 1 << bit;
+                    }
                 }
+                *word = rom.read(addr);
             }
-            *word = rom.read(addr);
-        }
-        for (bit, net) in rom.data.iter().enumerate() {
-            if net.index() == self.fault_net {
-                continue;
-            }
-            let mut lanes_word = 0u64;
-            for (lane, w) in words.iter().enumerate() {
-                if (w >> bit) & 1 == 1 {
-                    lanes_word |= 1 << lane;
+            for (bit, net) in rom.data.iter().enumerate() {
+                if net.index() == self.fault_net {
+                    continue;
                 }
+                let mut lanes_word = 0u64;
+                for (lane, w) in words.iter().enumerate() {
+                    if (w >> bit) & 1 == 1 {
+                        lanes_word |= 1 << lane;
+                    }
+                }
+                self.values[net.index()] = lanes_word;
             }
-            self.values[net.index()] = lanes_word;
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::reference::InterpretedSimulator;
     use super::*;
     use crate::builder::NetlistBuilder;
+    use crate::ir::Signal;
     use crate::sim::Simulator;
 
     #[test]
@@ -425,7 +542,7 @@ mod tests {
     }
 
     #[test]
-    fn batch_handles_roms_per_lane() {
+    fn batch_handles_roms() {
         use pdk::RomStyle;
         let mut b = NetlistBuilder::new("rom");
         let a = b.input("a", 3);
@@ -568,6 +685,38 @@ mod tests {
             scalar.set("x", v);
             scalar.settle();
             assert_eq!(got[v as usize], scalar.get("o"), "v={v}");
+        }
+    }
+
+    #[test]
+    fn compiled_wrapper_matches_the_interpreted_oracle() {
+        use pdk::RomStyle;
+        // One circuit exercising gates, constants and a ROM, replayed
+        // through both engines with a fault sweep: every packed image,
+        // response image and match verdict must be bit-identical.
+        let mut b = NetlistBuilder::new("pair");
+        let x = b.input("x", 4);
+        let inv: Vec<Signal> = x.iter().map(|&s| b.not(s)).collect();
+        let d = b.rom(&inv[..2], vec![2, 0, 3, 1], 2, RomStyle::Crossbar);
+        let g = b.and(d[0], x[2]);
+        let h = b.xnor(g, inv[3]);
+        b.output("o", &[h, d[1]]);
+        let m = b.finish();
+        let vectors: Vec<Vec<u64>> = (0..16).map(|v| vec![v]).collect();
+        let mut compiled = BatchSimulator::new(&m);
+        let mut interp = InterpretedSimulator::new(&m);
+        let image = compiled.pack_vectors(&vectors);
+        assert_eq!(image, interp.pack_vectors(&vectors));
+        for fault in crate::faults::fault_sites(&m) {
+            compiled.inject_fault(fault.net, fault.stuck_at);
+            interp.inject_fault(fault.net, fault.stuck_at);
+            compiled.load_packed(&image);
+            interp.load_packed(&image);
+            compiled.settle();
+            interp.settle();
+            let words = interp.output_words(16);
+            assert_eq!(compiled.output_words(16), words, "{fault:?}");
+            assert!(compiled.outputs_match(&words, 16));
         }
     }
 }

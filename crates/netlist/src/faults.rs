@@ -12,8 +12,13 @@
 //! if any output port differs from the fault-free response.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use crate::compile::{record_settles, CompiledNetlist, WideSim};
 use crate::ir::{Module, NetId, Signal};
+
+/// Lane width of the fault-grading shards.
+const FAULT_W: usize = 4;
 
 /// One single-stuck-at fault site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -126,17 +131,19 @@ const SITES_PER_SHARD: usize = 32;
 /// Measures single-stuck-at coverage of `vectors` over a *combinational*
 /// module. Each vector lists one value per input port, in port order.
 ///
-/// Runs on the 64-lane [`crate::batch::BatchSimulator`], so each fault is
-/// exercised against 64 vectors per settle pass — the standard
-/// parallel-pattern fault simulation arrangement — and faults are
-/// injected *in place* (a lane-mask pin on the stuck net's word via
-/// [`crate::batch::BatchSimulator::inject_fault`]) instead of cloning and
-/// re-levelizing the module per site. Detected faults are dropped: a
-/// fault stops simulating at its first detecting vector chunk. Fault
-/// sites are sharded across the [`exec`] thread pool in fixed-size blocks
-/// (one levelized simulator per shard) and the verdict list is
-/// reassembled in site order, so the report does not depend on the thread
-/// count.
+/// Runs on the compiled wide-lane kernel ([`WideSim`]`<4>` over one
+/// shared [`CompiledNetlist`]), so each fault is exercised against 256
+/// vectors per settle pass — the standard parallel-pattern fault
+/// simulation arrangement — and faults are injected *in place* (a
+/// lane-word pin on the stuck net's slot via [`WideSim::inject_fault`])
+/// instead of cloning and re-compiling the module per site. Detected
+/// faults are dropped: a fault stops simulating at its first detecting
+/// vector chunk (detection verdicts are chunk-width independent — a
+/// fault is detected iff *any* vector distinguishes it). Fault sites are
+/// sharded across the [`exec`] thread pool in fixed-size blocks (one
+/// evaluator per shard over the shared tape) and the verdict list is
+/// reassembled in site order, so the report does not depend on the
+/// thread count.
 ///
 /// # Panics
 /// Panics if the module is sequential (run the vectors through your own
@@ -150,11 +157,13 @@ pub fn coverage(module: &Module, vectors: &[Vec<u64>]) -> FaultCoverage {
     for (i, v) in vectors.iter().enumerate() {
         assert_eq!(v.len(), module.inputs.len(), "vector {i} arity mismatch");
     }
-    // Pack every ≤64-vector chunk once and record the fault-free response
-    // image; each fault replays the same images.
-    let mut sim = crate::batch::BatchSimulator::new(module);
-    let chunks: Vec<(Vec<u64>, usize)> = vectors
-        .chunks(64)
+    // Compile once; every shard below replays the same shared tape.
+    let compiled = Arc::new(CompiledNetlist::compile(module));
+    // Pack every ≤256-vector chunk once and record the fault-free
+    // response image; each fault replays the same images.
+    let mut sim: WideSim<FAULT_W> = WideSim::new(Arc::clone(&compiled));
+    let chunks: Vec<(Vec<[u64; FAULT_W]>, usize)> = vectors
+        .chunks(WideSim::<FAULT_W>::LANES)
         .map(|c| (sim.pack_vectors(c), c.len()))
         .collect();
     let good: Vec<Vec<u64>> = chunks
@@ -165,12 +174,15 @@ pub fn coverage(module: &Module, vectors: &[Vec<u64>]) -> FaultCoverage {
             sim.output_words(*lanes)
         })
         .collect();
+    record_settles(chunks.len() as u64, vectors.len() as u64);
 
     let sites = fault_sites(module);
     let shards: Vec<&[Fault]> = sites.chunks(SITES_PER_SHARD).collect();
     let verdicts: Vec<Vec<bool>> = exec::parallel_map(&shards, |_, shard| {
-        let mut sim = crate::batch::BatchSimulator::new(module);
-        shard
+        let mut sim: WideSim<FAULT_W> = WideSim::new(Arc::clone(&compiled));
+        let mut settles = 0u64;
+        let mut lane_vectors = 0u64;
+        let out: Vec<bool> = shard
             .iter()
             .map(|&fault| {
                 sim.inject_fault(fault.net, fault.stuck_at);
@@ -178,10 +190,14 @@ pub fn coverage(module: &Module, vectors: &[Vec<u64>]) -> FaultCoverage {
                 chunks.iter().zip(&good).any(|((image, lanes), expected)| {
                     sim.load_packed(image);
                     sim.settle();
+                    settles += 1;
+                    lane_vectors += *lanes as u64;
                     !sim.outputs_match(expected, *lanes)
                 })
             })
-            .collect()
+            .collect();
+        record_settles(settles, lane_vectors);
+        out
     });
     let verdicts: Vec<bool> = verdicts.concat();
     let detected = verdicts.iter().filter(|&&d| d).count();

@@ -43,6 +43,7 @@ pub mod arith;
 pub mod batch;
 pub mod builder;
 pub mod comb;
+pub mod compile;
 pub mod fanout;
 pub mod faults;
 pub mod ir;
@@ -57,6 +58,7 @@ pub mod verilog;
 pub use analysis::{analyze, Ppa};
 pub use batch::BatchSimulator;
 pub use builder::NetlistBuilder;
+pub use compile::{CompiledNetlist, WideSim};
 pub use fanout::{fanout_histogram, insert_buffers, max_fanout};
 pub use faults::{coverage as fault_coverage, Fault, FaultCoverage};
 pub use ir::{Gate, Module, NetId, Port, RomInstance, Signal};

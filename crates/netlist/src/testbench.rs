@@ -7,7 +7,9 @@
 //! prints `FAIL`; a clean run prints `PASS`.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
+use crate::compile::{CompiledNetlist, WideSim};
 use crate::ir::Module;
 use crate::sim::Simulator;
 use crate::verilog::to_verilog;
@@ -22,15 +24,49 @@ pub type Vector = Vec<u64>;
 /// `cycles_per_vector` times after applying each vector (matching how the
 /// serial tree consumes one inference per `depth` cycles).
 ///
-/// Expected outputs are computed with [`Simulator`], so the testbench is
-/// an executable statement of this crate's semantics.
+/// Expected outputs are this crate's own semantics made executable:
+/// combinational modules are batched through the compiled wide-lane
+/// kernel (256 vectors per settle), sequential ones are stepped through
+/// the scalar [`Simulator`].
 ///
 /// # Panics
 /// Panics if any vector's length differs from the module's input count.
 pub fn to_testbench(module: &Module, vectors: &[Vector], cycles_per_vector: usize) -> String {
     let mut out = to_verilog(module);
     let sequential = !module.is_combinational();
-    let mut sim = Simulator::new(module);
+    for (vi, vector) in vectors.iter().enumerate() {
+        assert_eq!(
+            vector.len(),
+            module.inputs.len(),
+            "vector {vi} has {} values for {} inputs",
+            vector.len(),
+            module.inputs.len()
+        );
+    }
+    // Expected outputs for combinational modules, one row per vector
+    // (values per output port), computed 256 lanes at a time.
+    let mut expected_rows: Vec<Vec<u64>> = Vec::with_capacity(vectors.len());
+    if !sequential {
+        let mut sim: WideSim<4> = WideSim::new(Arc::new(CompiledNetlist::compile(module)));
+        for chunk in vectors.chunks(WideSim::<4>::LANES) {
+            let image = sim.pack_vectors(chunk);
+            sim.load_packed(&image);
+            sim.settle();
+            let per_port: Vec<Vec<u64>> = module
+                .outputs
+                .iter()
+                .map(|p| sim.lanes(&p.name, chunk.len()))
+                .collect();
+            for lane in 0..chunk.len() {
+                expected_rows.push(per_port.iter().map(|col| col[lane]).collect());
+            }
+        }
+        crate::compile::record_settles(
+            vectors.len().div_ceil(WideSim::<4>::LANES) as u64,
+            vectors.len() as u64,
+        );
+    }
+    let mut sim = sequential.then(|| Simulator::new(module));
 
     let _ = writeln!(out, "\nmodule tb;");
     if sequential {
@@ -76,22 +112,18 @@ pub fn to_testbench(module: &Module, vectors: &[Vector], cycles_per_vector: usiz
     let _ = writeln!(out, "  initial begin");
 
     for (vi, vector) in vectors.iter().enumerate() {
-        assert_eq!(
-            vector.len(),
-            module.inputs.len(),
-            "vector {vi} has {} values for {} inputs",
-            vector.len(),
-            module.inputs.len()
-        );
-        // Drive the simulator to learn the expected outputs.
-        if sequential {
+        // Drive the scalar simulator (sequential only) to learn the
+        // expected outputs; combinational expectations were batched above.
+        if let Some(sim) = sim.as_mut() {
             sim.reset();
         }
         for (p, &v) in module.inputs.iter().zip(vector) {
-            sim.set(&p.name, v);
+            if let Some(sim) = sim.as_mut() {
+                sim.set(&p.name, v);
+            }
             let _ = writeln!(out, "    {} = {}'d{};", p.name, p.width(), v);
         }
-        if sequential {
+        if let Some(sim) = sim.as_mut() {
             for _ in 0..cycles_per_vector.max(1) {
                 sim.step();
             }
@@ -106,11 +138,13 @@ pub fn to_testbench(module: &Module, vectors: &[Vector], cycles_per_vector: usiz
             );
             let _ = writeln!(out, "    #1;");
         } else {
-            sim.settle();
             let _ = writeln!(out, "    #10;");
         }
-        for p in &module.outputs {
-            let expect = sim.get(&p.name);
+        for (oi, p) in module.outputs.iter().enumerate() {
+            let expect = match sim.as_mut() {
+                Some(sim) => sim.get(&p.name),
+                None => expected_rows[vi][oi],
+            };
             let _ = writeln!(
                 out,
                 "    if ({} !== {}'d{}) begin $display(\"FAIL vector {} port {}: got %0d want {}\", {}); errors = errors + 1; end",

@@ -4,17 +4,27 @@
 //! absorption, CSE, lookup replacement); a synthesis flow would sign this
 //! off with logic equivalence checking. This module provides the same
 //! safety net: a classic *miter* construction (XOR corresponding outputs,
-//! OR the differences) plus exhaustive or sampled proving on the 64-lane
-//! [`BatchSimulator`] — every settle pass tries 64 input vectors, and
-//! vector spans are sharded across the [`exec`] pool in fixed-size blocks
-//! so the verdict (and any counter-example) is identical at every thread
-//! count.
+//! OR the differences) plus exhaustive or sampled proving on the compiled
+//! wide-lane kernel — the miter is compiled once into a shared
+//! [`CompiledNetlist`] tape and every [`WideSim`]`<4>` settle pass tries
+//! 256 input vectors. Vector spans are sharded across the [`exec`] pool
+//! in fixed-size blocks so the verdict (and any counter-example) is
+//! identical at every thread count; widening the settle chunk from 64 to
+//! 256 lanes subdivides spans differently but preserves the vector
+//! order, the per-span sample streams and the first-difference witness.
 
 use std::fmt;
+use std::sync::Arc;
 
-use crate::batch::BatchSimulator;
 use crate::builder::NetlistBuilder;
+use crate::compile::{record_settles, CompiledNetlist, WideSim};
 use crate::ir::{Module, Signal};
+
+/// Lane width of the verification shards (one `WideSim<VERIFY_W>` per
+/// work item over the shared compiled miter).
+const VERIFY_W: usize = 4;
+/// Vectors per settle pass at that width.
+const VERIFY_LANES: usize = 64 * VERIFY_W;
 
 /// Root seed of the deterministic sampling stream (golden-ratio constant,
 /// kept from the original scalar checker).
@@ -250,20 +260,21 @@ fn width_mask(w: usize) -> u64 {
 /// chunks.
 struct LaneBuffer {
     /// `per_port[p][lane]` is port `p`'s value under vector `lane`.
-    per_port: Vec<[u64; 64]>,
+    per_port: Vec<Vec<u64>>,
 }
 
 impl LaneBuffer {
     fn new(n_ports: usize) -> Self {
         LaneBuffer {
-            per_port: vec![[0u64; 64]; n_ports],
+            per_port: vec![vec![0u64; VERIFY_LANES]; n_ports],
         }
     }
 
-    /// Drives `sim` with the first `lanes` columns.
-    fn load(&self, sim: &mut BatchSimulator<'_>, inputs: &[crate::ir::Port], lanes: usize) {
-        for (p, port) in inputs.iter().enumerate() {
-            sim.set_lanes(&port.name, &self.per_port[p][..lanes]);
+    /// Drives `sim` with the first `lanes` columns (ports are loaded by
+    /// declaration index — no name lookups in the chunk loop).
+    fn load(&self, sim: &mut WideSim<VERIFY_W>, lanes: usize) {
+        for (p, col) in self.per_port.iter().enumerate() {
+            sim.set_port_lanes(p, &col[..lanes]);
         }
     }
 
@@ -313,8 +324,10 @@ fn check_equivalence_inner(
     let m = miter(a, b)?;
     let total_bits: u32 = m.inputs.iter().map(|p| p.width() as u32).sum();
 
+    // One compilation, shared by every shard below.
+    let compiled = Arc::new(CompiledNetlist::compile(&m));
     if total_bits < 64 && total_bits <= exhaustive_limit {
-        Ok(prove_exhaustive(&m, total_bits))
+        Ok(prove_exhaustive(&compiled, total_bits))
     } else {
         if total_bits >= 64 && exhaustive_limit >= 64 {
             eprintln!(
@@ -323,24 +336,27 @@ fn check_equivalence_inner(
                 m.name
             );
         }
-        Ok(prove_sampled(&m, samples))
+        Ok(prove_sampled(&compiled, samples))
     }
 }
 
-/// Exhaustive proof: all `2^total_bits` packed input vectors, 64 lanes
+/// Exhaustive proof: all `2^total_bits` packed input vectors, 256 lanes
 /// per settle, sharded over fixed `EXHAUSTIVE_SPAN` ranges.
-fn prove_exhaustive(m: &Module, total_bits: u32) -> Equivalence {
+fn prove_exhaustive(compiled: &Arc<CompiledNetlist>, total_bits: u32) -> Equivalence {
     let count = 1u64 << total_bits;
-    let widths: Vec<usize> = m.inputs.iter().map(|p| p.width()).collect();
+    let widths: Vec<usize> = compiled.input_widths();
     let spans: Vec<u64> = (0..count.div_ceil(EXHAUSTIVE_SPAN)).collect();
     let failures: Vec<Option<Vec<u64>>> = exec::parallel_map(&spans, |_, &span| {
-        let mut sim = BatchSimulator::new(m);
+        let mut sim: WideSim<VERIFY_W> = WideSim::new(Arc::clone(compiled));
         let mut lanes = LaneBuffer::new(widths.len());
+        let mut settles = 0u64;
+        let mut lane_vectors = 0u64;
         let start = span * EXHAUSTIVE_SPAN;
         let end = (start + EXHAUSTIVE_SPAN).min(count);
         let mut base = start;
+        let mut witness = None;
         while base < end {
-            let n = ((end - base) as usize).min(64);
+            let n = ((end - base) as usize).min(VERIFY_LANES);
             for lane in 0..n {
                 let mut rest = base + lane as u64;
                 for (p, &w) in widths.iter().enumerate() {
@@ -348,14 +364,18 @@ fn prove_exhaustive(m: &Module, total_bits: u32) -> Equivalence {
                     rest >>= w;
                 }
             }
-            lanes.load(&mut sim, &m.inputs, n);
+            lanes.load(&mut sim, n);
             sim.settle();
+            settles += 1;
+            lane_vectors += n as u64;
             if let Some(lane) = first_diff_lane(&sim, n) {
-                return Some(lanes.vector(lane));
+                witness = Some(lanes.vector(lane));
+                break;
             }
             base += n as u64;
         }
-        None
+        record_settles(settles, lane_vectors);
+        witness
     });
     match failures.into_iter().flatten().next() {
         Some(values) => Equivalence::CounterExample(values),
@@ -367,15 +387,19 @@ fn prove_exhaustive(m: &Module, total_bits: u32) -> Equivalence {
 }
 
 /// Sampled falsification: `samples` deterministic pseudo-random vectors,
-/// 64 lanes per settle, sharded over fixed `SAMPLE_SPAN` ranges with
+/// 256 lanes per settle, sharded over fixed `SAMPLE_SPAN` ranges with
 /// per-span seed streams (`exec::task_seed`), so the tried vectors do not
-/// depend on the thread count.
-fn prove_sampled(m: &Module, samples: usize) -> Equivalence {
-    let widths: Vec<usize> = m.inputs.iter().map(|p| p.width()).collect();
+/// depend on the thread count. Draws advance per (vector, port) — the
+/// stream is a function of the vector index alone, so the chunk width
+/// does not shift it.
+fn prove_sampled(compiled: &Arc<CompiledNetlist>, samples: usize) -> Equivalence {
+    let widths: Vec<usize> = compiled.input_widths();
     let spans: Vec<usize> = (0..samples.div_ceil(SAMPLE_SPAN)).collect();
     let failures: Vec<Option<Vec<u64>>> = exec::parallel_map(&spans, |_, &span| {
-        let mut sim = BatchSimulator::new(m);
+        let mut sim: WideSim<VERIFY_W> = WideSim::new(Arc::clone(compiled));
         let mut lanes = LaneBuffer::new(widths.len());
+        let mut settles = 0u64;
+        let mut lane_vectors = 0u64;
         // xorshift needs a nonzero state; task_seed(root, span) == 0 is a
         // 1-in-2^64 fluke but would freeze the stream entirely.
         let mut state = exec::task_seed(SAMPLE_ROOT, span as u64).max(1);
@@ -389,21 +413,26 @@ fn prove_sampled(m: &Module, samples: usize) -> Equivalence {
         let start = span * SAMPLE_SPAN;
         let end = (start + SAMPLE_SPAN).min(samples);
         let mut base = start;
+        let mut witness = None;
         while base < end {
-            let n = (end - base).min(64);
+            let n = (end - base).min(VERIFY_LANES);
             for lane in 0..n {
                 for (p, &w) in widths.iter().enumerate() {
                     lanes.per_port[p][lane] = next() & width_mask(w);
                 }
             }
-            lanes.load(&mut sim, &m.inputs, n);
+            lanes.load(&mut sim, n);
             sim.settle();
+            settles += 1;
+            lane_vectors += n as u64;
             if let Some(lane) = first_diff_lane(&sim, n) {
-                return Some(lanes.vector(lane));
+                witness = Some(lanes.vector(lane));
+                break;
             }
             base += n;
         }
-        None
+        record_settles(settles, lane_vectors);
+        witness
     });
     match failures.into_iter().flatten().next() {
         Some(values) => Equivalence::CounterExample(values),
@@ -414,14 +443,16 @@ fn prove_sampled(m: &Module, samples: usize) -> Equivalence {
     }
 }
 
-/// Lowest lane (vector) whose `diff` output is raised, if any.
-fn first_diff_lane(sim: &BatchSimulator<'_>, lanes: usize) -> Option<usize> {
-    let word = sim.output_words(lanes)[0];
-    if word == 0 {
-        None
-    } else {
-        Some(word.trailing_zeros() as usize)
-    }
+/// Lowest lane (vector) whose `diff` output is raised, if any — the
+/// miter has a single 1-bit output, so its response image is exactly
+/// `VERIFY_W` lane words.
+fn first_diff_lane(sim: &WideSim<VERIFY_W>, lanes: usize) -> Option<usize> {
+    let words = sim.output_words(lanes);
+    words
+        .iter()
+        .enumerate()
+        .find(|(_, &w)| w != 0)
+        .map(|(i, &w)| i * 64 + w.trailing_zeros() as usize)
 }
 
 #[cfg(test)]

@@ -55,6 +55,24 @@ impl Counter {
         counter_value(self.name)
     }
 
+    /// Runs `f` and adds the elapsed wall-clock nanoseconds to the
+    /// counter, passing the return value through — the idiom behind the
+    /// `*.ns` throughput counters (`netlist.opt.ns`,
+    /// `netlist.sim.compile_ns`): pair one volume counter with one
+    /// `time`-fed counter and any report consumer can compute a rate.
+    ///
+    /// ```
+    /// static BUILD_NS: obs::Counter = obs::Counter::new("doc.build_ns");
+    /// let answer = BUILD_NS.time(|| 6 * 7);
+    /// assert_eq!(answer, 42);
+    /// ```
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let start = std::time::Instant::now();
+        let result = f();
+        self.add(start.elapsed().as_nanos() as u64);
+        result
+    }
+
     /// The counter's name.
     pub fn name(&self) -> &'static str {
         self.name
