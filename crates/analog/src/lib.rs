@@ -17,6 +17,10 @@
 //!   a boundary comparator bank);
 //! * [`transient`] — first-order RC transient simulation for scope-style
 //!   waveforms;
+//! * [`variation`] / [`compile`] — Monte-Carlo print-variation analysis:
+//!   deterministic log-normal mismatch sweeps, run on a compiled
+//!   lane-batched evaluation tape (64 trials per pass over the rows)
+//!   with the scalar path preserved as `variation::reference`;
 //! * [`proto`] — the fabricated prototypes: the 4×1 multi-level ROM and
 //!   the 11-EGT two-level analog tree.
 //!
@@ -29,6 +33,7 @@
 //! ```
 
 pub mod comparator;
+pub mod compile;
 pub mod crossbar;
 pub mod device;
 pub mod proto;
@@ -38,6 +43,7 @@ pub mod tree;
 pub mod variation;
 
 pub use comparator::{AnalogComparator, ThresholdEncoding};
+pub use compile::{CompiledSvmVariation, CompiledTreeVariation, SvmRows, TreeRows};
 pub use crossbar::CrossbarColumn;
 pub use device::{Egt, PrintedResistor, VDD};
 pub use proto::{digital_tree_transients, two_level_tree_transients, MultiLevelRom, RomLevel};
@@ -45,5 +51,6 @@ pub use svm::AnalogSvm;
 pub use transient::{simulate_node, Stimulus, Waveform};
 pub use tree::{AnalogTree, AnalogTreeConfig};
 pub use variation::{
-    analyze_svm_variation, analyze_tree_variation, variation_sweep, VariationReport,
+    analyze_svm_variation, analyze_tree_variation, max_code_for_bits, svm_variation_sweep,
+    variation_sweep, VariationReport,
 };

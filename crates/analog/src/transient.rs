@@ -27,16 +27,25 @@ impl Waveform {
     }
 
     /// Time at which the waveform first comes within `tolerance` of its
-    /// settled value and stays there.
+    /// settled value and stays there: the sample *after* the last
+    /// out-of-tolerance one, or `0.0` for a trace that never leaves
+    /// tolerance.
+    ///
+    /// # Panics
+    /// Panics if the waveform is empty or `tolerance` is negative.
     pub fn settling_time(&self, tolerance: f64) -> f64 {
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
         let target = self.settled();
-        let mut t = 0.0;
-        for (i, v) in self.values.iter().enumerate() {
-            if (v - target).abs() > tolerance {
-                t = self.times[i];
-            }
+        match self
+            .values
+            .iter()
+            .rposition(|v| (v - target).abs() > tolerance)
+        {
+            // The last sample equals the settled value, so the last
+            // out-of-tolerance sample is never the final one.
+            Some(i) => self.times[i + 1],
+            None => 0.0,
         }
-        t
     }
 
     /// Minimum separation between this waveform and another over the
@@ -170,6 +179,28 @@ mod tests {
         );
         let slow = simulate_node(&[Stimulus::constant(1.0)], |l| l[0], 2e-3, 0.0, 20e-3, 500);
         assert!(fast.settling_time(0.01) < slow.settling_time(0.01));
+    }
+
+    #[test]
+    fn settling_time_is_the_first_instant_back_in_tolerance() {
+        let w = Waveform {
+            times: vec![0.0, 1.0, 2.0, 3.0],
+            values: vec![0.0, 0.5, 0.95, 1.0],
+        };
+        // Last out-of-tolerance sample is at t = 1.0 (value 0.5); the
+        // trace is within tolerance from the *following* sample on. The
+        // old implementation returned 1.0 — the instant it was still
+        // out of tolerance.
+        assert_eq!(w.settling_time(0.1), 2.0);
+    }
+
+    #[test]
+    fn always_settled_trace_has_zero_settling_time() {
+        let w = Waveform {
+            times: vec![0.0, 1.0, 2.0],
+            values: vec![1.0, 1.0, 1.0],
+        };
+        assert_eq!(w.settling_time(0.1), 0.0);
     }
 
     #[test]

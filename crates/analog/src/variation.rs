@@ -8,25 +8,56 @@
 //! law, measuring how classification agreement with the nominal design
 //! degrades as print variation grows.
 //!
+//! Each printed resistance is multiplied by a true log-normal factor
+//! `exp(sigma * z)` with `z` a standard normal drawn by Box–Muller over
+//! the deterministic [`exec`] stream — see [`lognormal_factor`].
+//!
 //! Trials are embarrassingly parallel. Each trial draws from its own
 //! deterministic seed stream (`exec::task_seed(seed, trial)`), so a sweep
 //! produces **bit-identical** reports at any thread count — the thread
 //! pool only changes wall-clock time, never results.
+//!
+//! The public analyzers route through the compiled lane-batched engine
+//! in [`crate::compile`] (compile the model once, bind rows once,
+//! evaluate 64 trials per pass over the rows). The original scalar
+//! implementation is preserved verbatim in [`reference`] as the
+//! property-test oracle: `tests/variation_engine.rs` pins compiled
+//! reports bit-identical to the reference at every trial count and
+//! thread count.
 
 use exec::rng::StdRng;
-use exec::{parallel_map, task_seed};
 
-use ml::quant::{QNode, QuantizedTree};
+use ml::quant::{QuantizedSvm, QuantizedTree};
 
-use crate::device::Egt;
-use crate::tree::{AnalogTree, AnalogTreeConfig};
+use crate::compile::{CompiledSvmVariation, CompiledTreeVariation};
 
-/// One Monte-Carlo variation trial of an analog tree.
-#[derive(Debug, Clone)]
-struct VariedTree {
-    /// Per-node effective thresholds after perturbation, in node order of
-    /// the quantized tree's split nodes.
-    thresholds: Vec<f64>,
+/// Largest representable feature code for a `bits`-wide quantizer,
+/// clamped so `bits >= 64` saturates instead of overflowing the shift
+/// (the same treatment `netlist::verify` gives exhaustive input spans).
+///
+/// `bits` must be at least 1 (a 0-bit code space has no codes to
+/// normalize against; `FeatureQuantizer` already rejects it).
+pub fn max_code_for_bits(bits: usize) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Draws one log-normal perturbation factor `exp(sigma * z)`, with `z`
+/// standard normal via Box–Muller over the deterministic `StdRng`
+/// stream (two `next_f64` draws per factor).
+///
+/// `1.0 - u1` keeps the log argument in `(0, 1]` — `next_f64` can
+/// return exactly 0.0 but never 1.0 — so the draw never hits `ln(0)`.
+/// At `sigma == 0.0` the factor is exactly `1.0`, which the
+/// perfect-agreement invariant tests rely on.
+pub fn lognormal_factor(rng: &mut StdRng, sigma: f64) -> f64 {
+    let u1 = rng.next_f64();
+    let u2 = rng.next_f64();
+    let z = (-2.0 * (1.0 - u1).ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (sigma * z).exp()
 }
 
 /// Result of a variation sweep.
@@ -49,9 +80,11 @@ pub struct VariationReport {
 /// evaluated on `rows` (quantized feature codes) against the nominal
 /// circuit.
 ///
-/// Trials shard across the [`exec`] thread pool; trial `t` draws from the
-/// stream seeded `task_seed(seed, t)`, so the report is bit-identical at
-/// any thread count.
+/// Routes through the compiled lane-batched engine
+/// ([`CompiledTreeVariation`]); trial `t` still draws from the stream
+/// seeded `task_seed(seed, t)`, so the report is bit-identical at any
+/// thread count and bit-identical to
+/// [`reference::analyze_tree_variation`].
 ///
 /// # Panics
 /// Panics if `trials` is zero or `rows` is empty.
@@ -62,103 +95,15 @@ pub fn analyze_tree_variation(
     trials: usize,
     seed: u64,
 ) -> VariationReport {
-    let _span = obs::span("analog.variation");
-    assert!(trials > 0, "need at least one trial");
-    assert!(!rows.is_empty(), "need evaluation rows");
-    obs::counter_add("analog.variation.trials", trials as u64);
-    obs::counter_add("analog.variation.rows", (trials * rows.len()) as u64);
-    let nominal = AnalogTree::from_tree(tree, AnalogTreeConfig::default());
-    let device = Egt::default();
-    let max_code = (1u64 << tree.bits()) - 1;
-
-    // Collect nominal node resistances (same traversal order as predict
-    // uses internally: we re-derive effective thresholds per trial).
-    let splits: Vec<(usize, f64)> = tree
-        .nodes()
-        .iter()
-        .filter_map(|n| match n {
-            QNode::Split {
-                feature, threshold, ..
-            } => {
-                let v = ((*threshold as f64) + 0.5) / max_code as f64;
-                Some((*feature, v.clamp(0.0, 1.0)))
-            }
-            QNode::Leaf { .. } => None,
-        })
-        .collect();
-
-    // One deterministic seed stream per trial: results are identical
-    // whether trials run sequentially or sharded across threads.
-    let trial_ids: Vec<u64> = (0..trials as u64).collect();
-    let agreements: Vec<f64> = parallel_map(&trial_ids, |_, &trial| {
-        let mut rng = StdRng::seed_from_u64(task_seed(seed, trial));
-        // Perturb each node's resistance; map back to an effective
-        // threshold voltage through the transistor law.
-        let varied = VariedTree {
-            thresholds: splits
-                .iter()
-                .map(|&(_, v)| {
-                    let r_nom = device.resistance(v);
-                    let factor = (rng.gen_range(-1.0f64..1.0) * sigma * 1.7).exp();
-                    let r = (r_nom * factor).clamp(device.r_on, device.r_off);
-                    device.voltage_for_resistance(r)
-                })
-                .collect(),
-        };
-        let mut agree = 0usize;
-        for codes in rows {
-            let nominal_class = nominal.predict(codes);
-            let varied_class = predict_varied(tree, &varied, codes, max_code);
-            agree += (nominal_class == varied_class) as usize;
-        }
-        agree as f64 / rows.len() as f64
-    });
-    let mean = agreements.iter().sum::<f64>() / trials as f64;
-    let worst = agreements.iter().cloned().fold(f64::INFINITY, f64::min);
-    VariationReport {
-        sigma,
-        trials,
-        mean_agreement: mean,
-        worst_agreement: worst,
-    }
-}
-
-/// Walks the tree using the perturbed effective thresholds.
-fn predict_varied(
-    tree: &QuantizedTree,
-    varied: &VariedTree,
-    codes: &[u64],
-    max_code: u64,
-) -> usize {
-    // Map node index -> split ordinal.
-    let mut ordinal = 0usize;
-    let mut split_ordinals = vec![usize::MAX; tree.nodes().len()];
-    for (i, n) in tree.nodes().iter().enumerate() {
-        if matches!(n, QNode::Split { .. }) {
-            split_ordinals[i] = ordinal;
-            ordinal += 1;
-        }
-    }
-    let mut i = 0usize;
-    loop {
-        match &tree.nodes()[i] {
-            QNode::Leaf { class } => return *class,
-            QNode::Split {
-                feature,
-                left,
-                right,
-                ..
-            } => {
-                let v = codes[*feature].min(max_code) as f64 / max_code as f64;
-                let thr = varied.thresholds[split_ordinals[i]];
-                i = if v > thr { *right } else { *left };
-            }
-        }
-    }
+    CompiledTreeVariation::compile(tree).analyze_rows(rows, sigma, trials, seed)
 }
 
 /// Sweeps variation sigmas and reports agreement at each — the data
 /// behind a "how much print tolerance can the classifier absorb" plot.
+///
+/// The tree is compiled and the rows bound **once**, shared across all
+/// sigma points (and across every [`exec::parallel_map`] shard within
+/// each point).
 pub fn variation_sweep(
     tree: &QuantizedTree,
     rows: &[Vec<u64>],
@@ -166,10 +111,253 @@ pub fn variation_sweep(
     trials: usize,
     seed: u64,
 ) -> Vec<VariationReport> {
+    let engine = CompiledTreeVariation::compile(tree);
+    let bound = engine.bind(rows);
     sigmas
         .iter()
-        .map(|&s| analyze_tree_variation(tree, rows, s, trials, seed))
+        .map(|&s| engine.analyze(&bound, s, trials, seed))
         .collect()
+}
+
+/// Monte-Carlo variation analysis of an analog SVM: the crossbar's printed
+/// resistances are perturbed (log-normal, relative sigma) and the
+/// perturbed engine's predictions are compared with the nominal analog
+/// engine on `rows`.
+///
+/// Routes through the compiled lane-batched engine
+/// ([`CompiledSvmVariation`]); reports are bit-identical at any thread
+/// count and bit-identical to [`reference::analyze_svm_variation`].
+///
+/// # Panics
+/// Panics if `trials` is zero or `rows` is empty.
+pub fn analyze_svm_variation(
+    svm: &QuantizedSvm,
+    n_features: usize,
+    rows: &[Vec<u64>],
+    sigma: f64,
+    trials: usize,
+    seed: u64,
+) -> VariationReport {
+    CompiledSvmVariation::compile(svm, n_features).analyze_rows(rows, sigma, trials, seed)
+}
+
+/// Sweeps variation sigmas for an analog SVM, compiling the crossbar
+/// tape and binding the rows once across all sigma points.
+pub fn svm_variation_sweep(
+    svm: &QuantizedSvm,
+    n_features: usize,
+    rows: &[Vec<u64>],
+    sigmas: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Vec<VariationReport> {
+    let engine = CompiledSvmVariation::compile(svm, n_features);
+    let bound = engine.bind(rows);
+    sigmas
+        .iter()
+        .map(|&s| engine.analyze(&bound, s, trials, seed))
+        .collect()
+}
+
+pub mod reference {
+    //! The original scalar variation analyzers, preserved as the oracle
+    //! the compiled engine is property-tested against
+    //! (`tests/variation_engine.rs`).
+    //!
+    //! One trial per `parallel_map` task, re-deriving split ordinals and
+    //! rebuilding perturbed crossbar columns per trial, and evaluating
+    //! the nominal circuit per `(trial, row)` — exactly the code the
+    //! compiled engine replaced, minus obs instrumentation (so oracle
+    //! runs don't inflate `analog.variation.*` counters).
+
+    use exec::rng::StdRng;
+    use exec::{parallel_map, task_seed};
+
+    use ml::quant::{QNode, QuantizedTree};
+
+    use super::{lognormal_factor, max_code_for_bits, VariationReport};
+    use crate::device::Egt;
+    use crate::tree::{AnalogTree, AnalogTreeConfig};
+
+    /// One Monte-Carlo variation trial of an analog tree.
+    #[derive(Debug, Clone)]
+    struct VariedTree {
+        /// Per-node effective thresholds after perturbation, in node order of
+        /// the quantized tree's split nodes.
+        thresholds: Vec<f64>,
+    }
+
+    /// Scalar oracle for [`super::analyze_tree_variation`].
+    ///
+    /// # Panics
+    /// Panics if `trials` is zero or `rows` is empty.
+    pub fn analyze_tree_variation(
+        tree: &QuantizedTree,
+        rows: &[Vec<u64>],
+        sigma: f64,
+        trials: usize,
+        seed: u64,
+    ) -> VariationReport {
+        assert!(trials > 0, "need at least one trial");
+        assert!(!rows.is_empty(), "need evaluation rows");
+        let nominal = AnalogTree::from_tree(tree, AnalogTreeConfig::default());
+        let device = Egt::default();
+        let max_code = max_code_for_bits(tree.bits());
+
+        // Collect nominal node resistances (same traversal order as predict
+        // uses internally: we re-derive effective thresholds per trial).
+        let splits: Vec<(usize, f64)> = tree
+            .nodes()
+            .iter()
+            .filter_map(|n| match n {
+                QNode::Split {
+                    feature, threshold, ..
+                } => {
+                    let v = ((*threshold as f64) + 0.5) / max_code as f64;
+                    Some((*feature, v.clamp(0.0, 1.0)))
+                }
+                QNode::Leaf { .. } => None,
+            })
+            .collect();
+
+        // One deterministic seed stream per trial: results are identical
+        // whether trials run sequentially or sharded across threads.
+        let trial_ids: Vec<u64> = (0..trials as u64).collect();
+        let agreements: Vec<f64> = parallel_map(&trial_ids, |_, &trial| {
+            let mut rng = StdRng::seed_from_u64(task_seed(seed, trial));
+            // Perturb each node's resistance; map back to an effective
+            // threshold voltage through the transistor law.
+            let varied = VariedTree {
+                thresholds: splits
+                    .iter()
+                    .map(|&(_, v)| {
+                        let r_nom = device.resistance(v);
+                        let factor = lognormal_factor(&mut rng, sigma);
+                        let r = (r_nom * factor).clamp(device.r_on, device.r_off);
+                        device.voltage_for_resistance(r)
+                    })
+                    .collect(),
+            };
+            let mut agree = 0usize;
+            for codes in rows {
+                let nominal_class = nominal.predict(codes);
+                let varied_class = predict_varied(tree, &varied, codes, max_code);
+                agree += (nominal_class == varied_class) as usize;
+            }
+            agree as f64 / rows.len() as f64
+        });
+        let mean = agreements.iter().sum::<f64>() / trials as f64;
+        let worst = agreements.iter().cloned().fold(f64::INFINITY, f64::min);
+        VariationReport {
+            sigma,
+            trials,
+            mean_agreement: mean,
+            worst_agreement: worst,
+        }
+    }
+
+    /// Walks the tree using the perturbed effective thresholds.
+    fn predict_varied(
+        tree: &QuantizedTree,
+        varied: &VariedTree,
+        codes: &[u64],
+        max_code: u64,
+    ) -> usize {
+        // Map node index -> split ordinal.
+        let mut ordinal = 0usize;
+        let mut split_ordinals = vec![usize::MAX; tree.nodes().len()];
+        for (i, n) in tree.nodes().iter().enumerate() {
+            if matches!(n, QNode::Split { .. }) {
+                split_ordinals[i] = ordinal;
+                ordinal += 1;
+            }
+        }
+        let mut i = 0usize;
+        loop {
+            match &tree.nodes()[i] {
+                QNode::Leaf { class } => return *class,
+                QNode::Split {
+                    feature,
+                    left,
+                    right,
+                    ..
+                } => {
+                    let v = codes[*feature].min(max_code) as f64 / max_code as f64;
+                    let thr = varied.thresholds[split_ordinals[i]];
+                    i = if v > thr { *right } else { *left };
+                }
+            }
+        }
+    }
+
+    /// Scalar oracle for [`super::analyze_svm_variation`].
+    ///
+    /// # Panics
+    /// Panics if `trials` is zero or `rows` is empty.
+    pub fn analyze_svm_variation(
+        svm: &ml::quant::QuantizedSvm,
+        n_features: usize,
+        rows: &[Vec<u64>],
+        sigma: f64,
+        trials: usize,
+        seed: u64,
+    ) -> VariationReport {
+        use crate::crossbar::CrossbarColumn;
+        assert!(trials > 0, "need at least one trial");
+        assert!(!rows.is_empty(), "need evaluation rows");
+        let nominal = crate::svm::AnalogSvm::from_svm(svm, n_features);
+        let max_code = max_code_for_bits(svm.bits());
+        let boundaries_v: Vec<f64> = svm
+            .boundaries()
+            .iter()
+            .map(|&b| b as f64 / max_code as f64)
+            .collect();
+        let pos_scale: f64 = svm.pos_terms().iter().map(|&(_, m)| m as f64).sum();
+        let neg_scale: f64 = svm.neg_terms().iter().map(|&(_, m)| m as f64).sum();
+
+        let trial_ids: Vec<u64> = (0..trials as u64).collect();
+        let agreements: Vec<f64> = parallel_map(&trial_ids, |_, &trial| {
+            let mut rng = StdRng::seed_from_u64(task_seed(seed, trial));
+            let mut perturbed_column = |terms: &[(usize, u64)]| -> Option<CrossbarColumn> {
+                if terms.is_empty() {
+                    return None;
+                }
+                let mut weights = vec![0.0; n_features];
+                for &(f, m) in terms {
+                    let factor = lognormal_factor(&mut rng, sigma);
+                    weights[f] = m as f64 * factor;
+                }
+                Some(CrossbarColumn::program(&weights))
+            };
+            let pos = perturbed_column(svm.pos_terms());
+            let neg = perturbed_column(svm.neg_terms());
+            let mut agree = 0usize;
+            for codes in rows {
+                let volts: Vec<f64> = codes
+                    .iter()
+                    .map(|&c| c.min(max_code) as f64 / max_code as f64)
+                    .collect();
+                let vp = pos.as_ref().map_or(0.0, |c| c.output(&volts));
+                let vn = neg.as_ref().map_or(0.0, |c| c.output(&volts));
+                let d = vp * pos_scale - vn * neg_scale;
+                let varied_class = boundaries_v
+                    .iter()
+                    .filter(|&&b| d > b)
+                    .count()
+                    .min(svm.n_classes() - 1);
+                agree += (varied_class == nominal.predict(codes)) as usize;
+            }
+            agree as f64 / rows.len() as f64
+        });
+        let mean = agreements.iter().sum::<f64>() / trials as f64;
+        let worst = agreements.iter().cloned().fold(f64::INFINITY, f64::min);
+        VariationReport {
+            sigma,
+            trials,
+            mean_agreement: mean,
+            worst_agreement: worst,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +375,38 @@ mod tests {
         let qt = QuantizedTree::from_tree(&tree, &fq);
         let rows: Vec<Vec<u64>> = test.x.iter().take(100).map(|r| fq.code_row(r)).collect();
         (qt, rows)
+    }
+
+    #[test]
+    fn max_code_saturates_at_the_shift_boundary() {
+        assert_eq!(max_code_for_bits(1), 1);
+        assert_eq!(max_code_for_bits(6), 63);
+        assert_eq!(max_code_for_bits(16), 65_535);
+        assert_eq!(max_code_for_bits(63), (1u64 << 63) - 1);
+        // bits >= 64 used to overflow the shift (panic in debug, wrap to
+        // max_code == 0 in release); now saturates.
+        assert_eq!(max_code_for_bits(64), u64::MAX);
+        assert_eq!(max_code_for_bits(200), u64::MAX);
+    }
+
+    #[test]
+    fn lognormal_factor_is_unit_at_zero_sigma_and_spreads_with_sigma() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..64 {
+            assert_eq!(lognormal_factor(&mut rng, 0.0), 1.0);
+        }
+        // A log-normal factor is always positive and its log has the
+        // requested scale: sample standard deviation of ln(factor) at
+        // sigma = 0.3 should land near 0.3.
+        let sigma = 0.3;
+        let logs: Vec<f64> = (0..4096)
+            .map(|_| lognormal_factor(&mut rng, sigma).ln())
+            .collect();
+        assert!(logs.iter().all(|l| l.is_finite()));
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var = logs.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / logs.len() as f64;
+        assert!(mean.abs() < 0.03, "log-mean {mean}");
+        assert!((var.sqrt() - sigma).abs() < 0.03, "log-sd {}", var.sqrt());
     }
 
     #[test]
@@ -229,81 +449,6 @@ mod tests {
     fn zero_trials_are_rejected() {
         let (qt, rows) = workload();
         analyze_tree_variation(&qt, &rows, 0.1, 0, 1);
-    }
-}
-
-/// Monte-Carlo variation analysis of an analog SVM: the crossbar's printed
-/// resistances are perturbed (log-normal, relative sigma) and the
-/// perturbed engine's predictions are compared with the nominal analog
-/// engine on `rows`.
-///
-/// Trials shard across the [`exec`] thread pool with per-trial seed
-/// streams; results are bit-identical at any thread count.
-///
-/// # Panics
-/// Panics if `trials` is zero or `rows` is empty.
-pub fn analyze_svm_variation(
-    svm: &ml::quant::QuantizedSvm,
-    n_features: usize,
-    rows: &[Vec<u64>],
-    sigma: f64,
-    trials: usize,
-    seed: u64,
-) -> VariationReport {
-    use crate::crossbar::CrossbarColumn;
-    assert!(trials > 0, "need at least one trial");
-    assert!(!rows.is_empty(), "need evaluation rows");
-    let nominal = crate::svm::AnalogSvm::from_svm(svm, n_features);
-    let max_code = (1u64 << svm.bits()) - 1;
-    let boundaries_v: Vec<f64> = svm
-        .boundaries()
-        .iter()
-        .map(|&b| b as f64 / max_code as f64)
-        .collect();
-    let pos_scale: f64 = svm.pos_terms().iter().map(|&(_, m)| m as f64).sum();
-    let neg_scale: f64 = svm.neg_terms().iter().map(|&(_, m)| m as f64).sum();
-
-    let trial_ids: Vec<u64> = (0..trials as u64).collect();
-    let agreements: Vec<f64> = parallel_map(&trial_ids, |_, &trial| {
-        let mut rng = StdRng::seed_from_u64(task_seed(seed, trial));
-        let mut perturbed_column = |terms: &[(usize, u64)]| -> Option<CrossbarColumn> {
-            if terms.is_empty() {
-                return None;
-            }
-            let mut weights = vec![0.0; n_features];
-            for &(f, m) in terms {
-                let factor = (rng.gen_range(-1.0f64..1.0) * sigma * 1.7).exp();
-                weights[f] = m as f64 * factor;
-            }
-            Some(CrossbarColumn::program(&weights))
-        };
-        let pos = perturbed_column(svm.pos_terms());
-        let neg = perturbed_column(svm.neg_terms());
-        let mut agree = 0usize;
-        for codes in rows {
-            let volts: Vec<f64> = codes
-                .iter()
-                .map(|&c| c.min(max_code) as f64 / max_code as f64)
-                .collect();
-            let vp = pos.as_ref().map_or(0.0, |c| c.output(&volts));
-            let vn = neg.as_ref().map_or(0.0, |c| c.output(&volts));
-            let d = vp * pos_scale - vn * neg_scale;
-            let varied_class = boundaries_v
-                .iter()
-                .filter(|&&b| d > b)
-                .count()
-                .min(svm.n_classes() - 1);
-            agree += (varied_class == nominal.predict(codes)) as usize;
-        }
-        agree as f64 / rows.len() as f64
-    });
-    let mean = agreements.iter().sum::<f64>() / trials as f64;
-    let worst = agreements.iter().cloned().fold(f64::INFINITY, f64::min);
-    VariationReport {
-        sigma,
-        trials,
-        mean_agreement: mean,
-        worst_agreement: worst,
     }
 }
 
@@ -353,5 +498,13 @@ mod svm_variation_tests {
         let a = analyze_svm_variation(&qs, 11, &rows, 0.1, 4, 8);
         let b = analyze_svm_variation(&qs, 11, &rows, 0.1, 4, 8);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn svm_sweep_matches_pointwise_analysis() {
+        let (qs, rows) = workload();
+        let sweep = svm_variation_sweep(&qs, 11, &rows, &[0.02, 0.2], 4, 8);
+        assert_eq!(sweep[0], analyze_svm_variation(&qs, 11, &rows, 0.02, 4, 8));
+        assert_eq!(sweep[1], analyze_svm_variation(&qs, 11, &rows, 0.2, 4, 8));
     }
 }

@@ -1,31 +1,31 @@
 //! CI perf-regression gate over the smoke-mode benchmark reports.
 //!
 //! Reads the `repro_all --smoke --verify --json`, `opt_bench --smoke
-//! --json` and `sim_bench --smoke --json` reports, validates their
-//! unified [`obs`] `report` sections against the `obs-report-v1` schema,
-//! extracts the headline throughput metrics and compares them against
-//! the committed baseline (`bench/BENCH_baseline.json`). The process
-//! exits nonzero if any metric regresses by more than `--max-regress`
-//! (default 25%).
+//! --json`, `sim_bench --smoke --json` and `variation_bench --smoke
+//! --json` reports, validates their unified [`obs`] `report` sections
+//! against the `obs-report-v1` schema, extracts the headline throughput
+//! metrics and compares them against the committed baseline
+//! (`bench/BENCH_baseline.json`). The process exits nonzero if any
+//! metric regresses by more than `--max-regress` (default 25%).
 //!
 //! ```text
 //! cargo run --release -p bench --bin perf_gate -- \
-//!     [--repro PATH] [--opt PATH] [--sim PATH] [--baseline PATH] \
-//!     [--max-regress 0.25] [--refresh]
+//!     [--repro PATH] [--opt PATH] [--sim PATH] [--variation PATH] \
+//!     [--baseline PATH] [--max-regress 0.25] [--refresh]
 //! ```
 //!
 //! Refresh the baseline (after an intentional perf change) with:
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro_all -- --smoke --threads 2 --verify --json bench/out/smoke.json && cargo run --release -p bench --bin opt_bench -- --smoke --json bench/out/BENCH_opt_smoke.json && cargo run --release -p bench --bin sim_bench -- --smoke --json bench/out/BENCH_sim_smoke.json && cargo run --release -p bench --bin perf_gate -- --refresh
+//! cargo run --release -p bench --bin repro_all -- --smoke --threads 2 --verify --json bench/out/smoke.json && cargo run --release -p bench --bin opt_bench -- --smoke --json bench/out/BENCH_opt_smoke.json && cargo run --release -p bench --bin sim_bench -- --smoke --json bench/out/BENCH_sim_smoke.json && cargo run --release -p bench --bin variation_bench -- --smoke --json bench/out/BENCH_variation_smoke.json && cargo run --release -p bench --bin perf_gate -- --refresh
 //! ```
 
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 
 /// Schema tag of the committed baseline file (v2 added the compiled
-/// simulation-kernel metric).
-const BASELINE_SCHEMA: &str = "perf-baseline-v2";
+/// simulation-kernel metric, v3 the compiled variation-engine metric).
+const BASELINE_SCHEMA: &str = "perf-baseline-v3";
 
 /// The committed throughput baseline. All metrics are
 /// higher-is-better rates measured by the smoke workloads.
@@ -44,6 +44,9 @@ struct Baseline {
     /// Compiled 256-lane simulation throughput on the conventional
     /// SVM-16 netlist (`sim_bench` headline).
     sim_svm16_vectors_per_sec: f64,
+    /// Compiled lane-batched Monte-Carlo variation throughput on the
+    /// HAR depth-4 analog tree (`variation_bench` headline).
+    variation_trials_per_sec: f64,
 }
 
 fn fail(msg: &str) -> ! {
@@ -99,6 +102,7 @@ fn main() {
     let mut repro_path = "bench/out/smoke.json".to_string();
     let mut opt_path = "bench/out/BENCH_opt_smoke.json".to_string();
     let mut sim_path = "bench/out/BENCH_sim_smoke.json".to_string();
+    let mut variation_path = "bench/out/BENCH_variation_smoke.json".to_string();
     let mut baseline_path = "bench/BENCH_baseline.json".to_string();
     let mut max_regress = 0.25f64;
     let mut refresh = false;
@@ -115,6 +119,7 @@ fn main() {
             "--repro" => repro_path = path_arg(&args, &mut i),
             "--opt" => opt_path = path_arg(&args, &mut i),
             "--sim" => sim_path = path_arg(&args, &mut i),
+            "--variation" => variation_path = path_arg(&args, &mut i),
             "--baseline" => baseline_path = path_arg(&args, &mut i),
             "--max-regress" => {
                 i += 1;
@@ -129,7 +134,7 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: perf_gate [--repro PATH] [--opt PATH] [--sim PATH] \
-                     [--baseline PATH] [--max-regress F] [--refresh]"
+                     [--variation PATH] [--baseline PATH] [--max-regress F] [--refresh]"
                 );
                 std::process::exit(2);
             }
@@ -140,6 +145,7 @@ fn main() {
     let repro = load(&repro_path);
     let opt = load(&opt_path);
     let sim = load(&sim_path);
+    let variation = load(&variation_path);
     let repro_obs = validate_obs_section(
         &repro_path,
         &repro,
@@ -163,6 +169,16 @@ fn main() {
             "netlist.sim.vectors",
         ],
     );
+    validate_obs_section(
+        &variation_path,
+        &variation,
+        &[
+            "analog.variation.compiles",
+            "analog.variation.lane_blocks",
+            "analog.variation.trials",
+            "analog.variation.rows",
+        ],
+    );
     eprintln!("[perf_gate] obs report sections valid ({})", obs::SCHEMA);
 
     let opt_secs = repro_obs.counter("netlist.opt.ns") as f64 * 1e-9;
@@ -173,6 +189,7 @@ fn main() {
         repro_verify_faults_per_sec: num(&repro_path, &repro, &["verify", "faults_per_sec"]),
         opt_svm16_gates_per_sec: num(&opt_path, &opt, &["svm16_gates_per_sec"]),
         sim_svm16_vectors_per_sec: num(&sim_path, &sim, &["svm16_vectors_per_sec"]),
+        variation_trials_per_sec: num(&variation_path, &variation, &["tree_trials_per_sec"]),
     };
 
     if refresh {
@@ -221,6 +238,11 @@ fn main() {
             "sim.svm16_vectors_per_sec",
             current.sim_svm16_vectors_per_sec,
             baseline.sim_svm16_vectors_per_sec,
+        ),
+        (
+            "variation.trials_per_sec",
+            current.variation_trials_per_sec,
+            baseline.variation_trials_per_sec,
         ),
     ];
     let floor = 1.0 - max_regress;

@@ -1,0 +1,288 @@
+//! Throughput benchmark of the Monte-Carlo variation engines: the
+//! preserved scalar oracle (`analog::variation::reference`) against the
+//! compiled lane-batched engine (`analog::compile`), on the HAR depth-4
+//! analog tree (1000 trials × 100 rows) and the RedWine analog SVM
+//! crossbar (1000 trials × 120 rows).
+//!
+//! Every engine draws the same per-trial `task_seed` streams, so before
+//! any speedup is reported the run *asserts* that the compiled
+//! [`analog::VariationReport`]s are bit-identical to the reference — and
+//! bit-identical across 1-, 4- and 8-thread pools. Prints per-engine
+//! trials/sec and writes a `bench/out/BENCH_variation.json` report (path
+//! overridable with `--json`):
+//!
+//! ```text
+//! cargo run --release -p bench --bin variation_bench -- [--smoke] [--json PATH]
+//! ```
+//!
+//! The headline `tree_trials_per_sec` (compiled engine on the HAR
+//! depth-4 tree) is what `perf_gate --variation` regresses against. The
+//! report carries the unified [`obs`] `report` section; see
+//! `docs/observability.md`.
+
+use analog::compile::{CompiledSvmVariation, CompiledTreeVariation};
+use analog::variation::reference;
+use analog::VariationReport;
+use exec::with_threads;
+use ml::synth::Application;
+use printed_core::flow::{SvmFlow, TreeFlow};
+use serde::Serialize;
+
+use bench::workloads::{row_cap, SEED};
+
+/// One engine's run of a workload's trial budget.
+#[derive(Serialize)]
+struct EngineResult {
+    /// `reference` or `compiled`, with `-1t`/`-4t`/`-8t` thread-sweep
+    /// variants of the compiled engine.
+    engine: String,
+    trials: usize,
+    rows: usize,
+    seconds: f64,
+    trials_per_sec: f64,
+    mean_agreement: f64,
+    worst_agreement: f64,
+}
+
+/// One benchmarked workload (analog tree or SVM crossbar).
+#[derive(Serialize)]
+struct WorkloadResult {
+    name: String,
+    /// Perturbed elements per trial: tree splits or crossbar rows.
+    perturbed_elements: usize,
+    /// One-off tape build + row bind, paid once and shared by every
+    /// thread count and sigma point.
+    compile_seconds: f64,
+    sigma: f64,
+    engines: Vec<EngineResult>,
+    /// Compiled trials/sec over reference trials/sec at the default
+    /// thread count.
+    speedup_vs_reference: f64,
+}
+
+/// The `BENCH_variation.json` report.
+#[derive(Serialize)]
+struct Report {
+    smoke: bool,
+    workloads: Vec<WorkloadResult>,
+    /// Headline number: compiled-engine throughput on the HAR depth-4
+    /// tree workload (gated by `perf_gate --variation`).
+    tree_trials_per_sec: f64,
+    /// Headline speedup: compiled over the scalar reference on the same
+    /// trial streams.
+    tree_speedup: f64,
+    /// Unified observability report (`obs-report-v1`).
+    report: obs::Report,
+}
+
+fn finish(
+    engine: String,
+    trials: usize,
+    rows: usize,
+    seconds: f64,
+    r: &VariationReport,
+) -> EngineResult {
+    let tps = if seconds > 0.0 {
+        trials as f64 / seconds
+    } else {
+        0.0
+    };
+    println!("  {engine:<14} {trials} trials x {rows} rows in {seconds:.3}s ({tps:.0} trials/sec)");
+    EngineResult {
+        engine,
+        trials,
+        rows,
+        seconds,
+        trials_per_sec: tps,
+        mean_agreement: r.mean_agreement,
+        worst_agreement: r.worst_agreement,
+    }
+}
+
+/// Runs reference + compiled (thread sweep) over one workload, asserting
+/// report bit-identity before any speedup is reported. `analyze` must
+/// evaluate the compiled engine on pre-bound rows; `oracle` is the
+/// preserved scalar path on the same trial streams.
+#[allow(clippy::too_many_arguments)]
+fn run_workload(
+    name: &str,
+    perturbed_elements: usize,
+    compile_seconds: f64,
+    rows: usize,
+    sigma: f64,
+    trials: usize,
+    oracle: impl Fn() -> VariationReport,
+    analyze: impl Fn() -> VariationReport,
+) -> WorkloadResult {
+    println!("{name}: {perturbed_elements} perturbed elements/trial, {trials} trials, {rows} rows (sigma {sigma})");
+    println!("  tape compiled + rows bound in {compile_seconds:.3}s");
+    let (ref_report, ref_seconds) = exec::time(&oracle);
+    let mut engines = vec![finish(
+        "reference".into(),
+        trials,
+        rows,
+        ref_seconds,
+        &ref_report,
+    )];
+    let (compiled_report, compiled_seconds) = exec::time(&analyze);
+    assert_eq!(
+        compiled_report, ref_report,
+        "{name}: compiled report diverges from the scalar reference"
+    );
+    engines.push(finish(
+        "compiled".into(),
+        trials,
+        rows,
+        compiled_seconds,
+        &compiled_report,
+    ));
+    for threads in [1usize, 4, 8] {
+        let (r, seconds) = with_threads(threads, || exec::time(&analyze));
+        assert_eq!(
+            r, ref_report,
+            "{name}: compiled report diverges at {threads} threads"
+        );
+        engines.push(finish(
+            format!("compiled-{threads}t"),
+            trials,
+            rows,
+            seconds,
+            &r,
+        ));
+    }
+    let speedup = if engines[0].trials_per_sec > 0.0 {
+        engines[1].trials_per_sec / engines[0].trials_per_sec
+    } else {
+        0.0
+    };
+    println!("  speedup (compiled vs reference): {speedup:.2}x");
+    WorkloadResult {
+        name: name.to_string(),
+        perturbed_elements,
+        compile_seconds,
+        sigma,
+        engines,
+        speedup_vs_reference: speedup,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut json_path = "bench/out/BENCH_variation.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => json_path = path.clone(),
+                    None => {
+                        eprintln!("--json requires a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: variation_bench [--smoke] [--json PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    bench::workloads::set_smoke(smoke);
+    obs::reset();
+    let root_span = obs::span("variation_bench");
+
+    // Smoke trims the trial budget, not the models: the headline is a
+    // perf-gate input and the full 1000-trial budget is the acceptance
+    // workload, but 200 trials (4 lane blocks — still past the 64-trial
+    // block boundary) time stably within the gate's margin.
+    let trials = if smoke { 200 } else { 1000 };
+    let sigma = 0.1;
+    let mut workloads = Vec::new();
+
+    {
+        let flow = TreeFlow::new(Application::Har, 4, SEED);
+        let rows: Vec<Vec<u64>> = flow
+            .test
+            .x
+            .iter()
+            .take(row_cap(100))
+            .map(|r| flow.fq.code_row(r))
+            .collect();
+        let ((engine, bound), compile_seconds) = exec::time(|| {
+            let engine = CompiledTreeVariation::compile(&flow.qt);
+            let bound = engine.bind(&rows);
+            (engine, bound)
+        });
+        workloads.push(run_workload(
+            "har-dt4-tree",
+            engine.split_count(),
+            compile_seconds,
+            rows.len(),
+            sigma,
+            trials,
+            || reference::analyze_tree_variation(&flow.qt, &rows, sigma, trials, SEED),
+            || engine.analyze(&bound, sigma, trials, SEED),
+        ));
+    }
+    {
+        let flow = SvmFlow::new(Application::RedWine, SEED);
+        let rows: Vec<Vec<u64>> = flow
+            .test
+            .x
+            .iter()
+            .take(row_cap(120))
+            .map(|r| flow.fq.code_row(r))
+            .collect();
+        let n_features = flow.n_features;
+        let ((engine, bound), compile_seconds) = exec::time(|| {
+            let engine = CompiledSvmVariation::compile(&flow.qs, n_features);
+            let bound = engine.bind(&rows);
+            (engine, bound)
+        });
+        workloads.push(run_workload(
+            "redwine-svm-crossbar",
+            engine.term_count(),
+            compile_seconds,
+            rows.len(),
+            sigma,
+            trials,
+            || reference::analyze_svm_variation(&flow.qs, n_features, &rows, sigma, trials, SEED),
+            || engine.analyze(&bound, sigma, trials, SEED),
+        ));
+    }
+
+    drop(root_span);
+    let obs_report = obs::report();
+    eprint!("{}", obs_report.text_summary());
+
+    let tree_result = &workloads[0];
+    let tree_trials_per_sec = tree_result.engines[1].trials_per_sec;
+    let tree_speedup = tree_result.speedup_vs_reference;
+    let report = Report {
+        smoke,
+        tree_trials_per_sec,
+        tree_speedup,
+        workloads,
+        report: obs_report,
+    };
+    println!(
+        "headline: HAR depth-4 tree at {:.0} trials/sec on the compiled lane-batched engine ({:.2}x the scalar reference)",
+        report.tree_trials_per_sec, report.tree_speedup
+    );
+    let body = serde_json::to_string_pretty(&report).expect("serialize report");
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).ok();
+        }
+    }
+    if let Err(err) = std::fs::write(&json_path, body) {
+        eprintln!("error: cannot write {json_path}: {err}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {json_path}");
+}

@@ -438,8 +438,9 @@ pub fn variation_analysis() -> Table {
             .take(row_cap(150))
             .map(|r| fq.code_row(r))
             .collect();
-        for sigma in [0.02, 0.05, 0.1, 0.2] {
-            let report = analog::analyze_svm_variation(&qs, 11, &rows, sigma, mc_trials(), SEED);
+        for report in
+            analog::svm_variation_sweep(&qs, 11, &rows, &[0.02, 0.05, 0.1, 0.2], mc_trials(), SEED)
+        {
             t.row(vec![
                 "redwine (svm)".into(),
                 fmt3(report.sigma),

@@ -7,6 +7,7 @@
 //! architectures in any technology.
 
 use analog::tree::AnalogTreeConfig;
+use analog::VariationReport;
 use ml::data::{Dataset, Standardizer};
 use ml::metrics::accuracy;
 use ml::quant::{FeatureQuantizer, QuantizedSvm, QuantizedTree};
@@ -146,6 +147,32 @@ impl TreeFlow {
         }
     }
 
+    /// The first `rows` test rows quantized to feature codes — the
+    /// evaluation set the variation and sign-off stages share.
+    pub fn coded_rows(&self, rows: usize) -> Vec<Vec<u64>> {
+        self.test
+            .x
+            .iter()
+            .take(rows)
+            .map(|r| self.fq.code_row(r))
+            .collect()
+    }
+
+    /// Monte-Carlo print-variation sweep of the analog realization
+    /// (§VI mismatch analysis): perturbs every printed resistance by a
+    /// log-normal factor at each sigma and reports agreement with the
+    /// nominal circuit over the first `rows` test rows. Runs on the
+    /// compiled lane-batched engine; bit-identical at any thread count.
+    pub fn variation_sweep(
+        &self,
+        sigmas: &[f64],
+        trials: usize,
+        rows: usize,
+        seed: u64,
+    ) -> Vec<VariationReport> {
+        analog::variation_sweep(&self.qt, &self.coded_rows(rows), sigmas, trials, seed)
+    }
+
     /// An 8-bit quantization of the same tree, as loaded into the
     /// general-purpose conventional engines.
     fn conventional_qt(&self) -> QuantizedTree {
@@ -265,6 +292,40 @@ impl SvmFlow {
             n_features,
             test,
         }
+    }
+
+    /// The first `rows` test rows quantized to feature codes — the
+    /// evaluation set the variation and sign-off stages share.
+    pub fn coded_rows(&self, rows: usize) -> Vec<Vec<u64>> {
+        self.test
+            .x
+            .iter()
+            .take(rows)
+            .map(|r| self.fq.code_row(r))
+            .collect()
+    }
+
+    /// Monte-Carlo print-variation sweep of the analog crossbar
+    /// realization (§VI mismatch analysis): perturbs every printed
+    /// crossbar resistance by a log-normal factor at each sigma and
+    /// reports agreement with the nominal engine over the first `rows`
+    /// test rows. Runs on the compiled lane-batched engine;
+    /// bit-identical at any thread count.
+    pub fn variation_sweep(
+        &self,
+        sigmas: &[f64],
+        trials: usize,
+        rows: usize,
+        seed: u64,
+    ) -> Vec<VariationReport> {
+        analog::svm_variation_sweep(
+            &self.qs,
+            self.n_features,
+            &self.coded_rows(rows),
+            sigmas,
+            trials,
+            seed,
+        )
     }
 
     /// Generates the netlist of a digital architecture (`None` for analog).

@@ -30,10 +30,12 @@ fn usage() -> &'static str {
      \n\
      USAGE:\n\
        printed-ml list\n\
-       printed-ml report   --app <dataset> [--depth N] [--arch ARCH] [--tech TECH] [--svm]\n\
-       printed-ml generate --app <dataset> [--depth N] [--arch ARCH] [--svm]\n\
-                           [--verilog PATH] [--testbench PATH]\n\
-       printed-ml sweep    --app <dataset> [--depth N]\n\
+       printed-ml report    --app <dataset> [--depth N] [--arch ARCH] [--tech TECH] [--svm]\n\
+       printed-ml generate  --app <dataset> [--depth N] [--arch ARCH] [--svm]\n\
+                            [--verilog PATH] [--testbench PATH]\n\
+       printed-ml sweep     --app <dataset> [--depth N]\n\
+       printed-ml variation --app <dataset> [--depth N] [--svm] [--sigmas S1,S2,..]\n\
+                            [--trials N] [--rows N] [--seed N]\n\
      \n\
      ARCH (trees): conv-serial | conv-parallel | bespoke-serial |\n\
                    bespoke-parallel | lookup | lookup-opt | analog\n\
@@ -41,7 +43,8 @@ fn usage() -> &'static str {
      TECH:         egt | cnt | tsmc40\n\
      \n\
      Defaults: --depth 4, --arch bespoke-parallel (trees) / bespoke (svm),\n\
-               --tech egt, seed 7."
+               --tech egt, seed 7; variation: --sigmas 0.02,0.05,0.1,0.2,\n\
+               --trials 100, --rows 100."
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -134,7 +137,7 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
-        "report" | "generate" | "sweep" => {
+        "report" | "generate" | "sweep" | "variation" => {
             let flags = parse_flags(&args[1..])?;
             let app = parse_app(&flags)?;
             let depth: usize = flags
@@ -264,6 +267,69 @@ fn run() -> Result<(), String> {
                                 r.feasibility().source_name()
                             );
                         }
+                    }
+                    Ok(())
+                }
+                "variation" => {
+                    let sigmas: Vec<f64> = flags
+                        .get("sigmas")
+                        .map(String::as_str)
+                        .unwrap_or("0.02,0.05,0.1,0.2")
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<f64>()
+                                .ok()
+                                .filter(|v| *v >= 0.0)
+                                .ok_or_else(|| format!("bad sigma {s}"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let parse_n = |key: &str, default: usize| -> Result<usize, String> {
+                        flags
+                            .get(key)
+                            .map(|v| {
+                                v.parse::<usize>()
+                                    .ok()
+                                    .filter(|n| *n > 0)
+                                    .ok_or_else(|| format!("bad {key} {v}"))
+                            })
+                            .transpose()
+                            .map(|n| n.unwrap_or(default))
+                    };
+                    let trials = parse_n("trials", 100)?;
+                    let rows = parse_n("rows", 100)?;
+                    let seed: u64 = flags
+                        .get("seed")
+                        .map(|v| v.parse().map_err(|_| format!("bad seed {v}")))
+                        .transpose()?
+                        .unwrap_or(7);
+                    let (model, reports) = if is_svm {
+                        let flow = SvmFlow::new(app, 7);
+                        let model = format!(
+                            "SVM-R, {} terms, {} bits",
+                            flow.qs.mac_count(),
+                            flow.choice.bits
+                        );
+                        (model, flow.variation_sweep(&sigmas, trials, rows, seed))
+                    } else {
+                        let flow = TreeFlow::new(app, depth, 7);
+                        let model = format!(
+                            "DT-{depth}, {} nodes, {} bits",
+                            flow.qt.comparison_count(),
+                            flow.choice.bits
+                        );
+                        (model, flow.variation_sweep(&sigmas, trials, rows, seed))
+                    };
+                    println!("model: {model}; {trials} trials, seed {seed}");
+                    println!(
+                        "{:<8} {:>16} {:>17}",
+                        "sigma", "mean agreement", "worst agreement"
+                    );
+                    for r in reports {
+                        println!(
+                            "{:<8} {:>16.3} {:>17.3}",
+                            r.sigma, r.mean_agreement, r.worst_agreement
+                        );
                     }
                     Ok(())
                 }

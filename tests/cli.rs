@@ -106,6 +106,54 @@ fn svm_report_works() {
 }
 
 #[test]
+fn variation_reports_each_sigma() {
+    let (stdout, _, ok) = run(&[
+        "variation",
+        "--app",
+        "har",
+        "--depth",
+        "2",
+        "--sigmas",
+        "0.05,0.2",
+        "--trials",
+        "8",
+        "--rows",
+        "30",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("model: DT-2"));
+    assert!(stdout.contains("worst agreement"));
+    assert!(stdout.contains("0.05"));
+    assert!(stdout.contains("0.2"));
+}
+
+#[test]
+fn svm_variation_works() {
+    let (stdout, _, ok) = run(&[
+        "variation",
+        "--app",
+        "redwine",
+        "--svm",
+        "--sigmas",
+        "0.1",
+        "--trials",
+        "4",
+        "--rows",
+        "20",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("SVM-R"));
+    assert!(stdout.contains("0.1"));
+}
+
+#[test]
+fn variation_rejects_a_bad_sigma_list() {
+    let (_, stderr, ok) = run(&["variation", "--app", "har", "--sigmas", "0.1,oops"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad sigma"));
+}
+
+#[test]
 fn sweep_covers_all_architectures() {
     let (stdout, _, ok) = run(&["sweep", "--app", "har", "--depth", "2"]);
     assert!(ok);

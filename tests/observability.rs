@@ -114,6 +114,49 @@ fn exec_pool_counters_accumulate() {
     assert_eq!(report.spans[0].name, "pool_test");
 }
 
+#[test]
+fn variation_paths_record_identical_obs_keys() {
+    use printed_ml::analog;
+    use printed_ml::core::flow::SvmFlow;
+
+    let _lock = LOCK.lock().unwrap();
+
+    // Tree path: 65 trials x 30 rows through the compiled engine.
+    let flow = TreeFlow::new(Application::Har, 2, 7);
+    let rows = flow.coded_rows(30);
+    obs::reset();
+    {
+        let _root = obs::span("test.variation");
+        analog::analyze_tree_variation(&flow.qt, &rows, 0.1, 65, 7);
+    }
+    let tree_report = obs::report();
+
+    // SVM path: same budget — it must emit the same keys (obs parity;
+    // the scalar SVM analyzer used to record nothing).
+    let svm_flow = SvmFlow::new(Application::RedWine, 7);
+    let svm_rows = svm_flow.coded_rows(30);
+    obs::reset();
+    {
+        let _root = obs::span("test.variation");
+        analog::analyze_svm_variation(&svm_flow.qs, svm_flow.n_features, &svm_rows, 0.1, 65, 7);
+    }
+    let svm_report = obs::report();
+
+    for report in [&tree_report, &svm_report] {
+        assert_eq!(report.counter("analog.variation.compiles"), 1);
+        assert_eq!(report.counter("analog.variation.trials"), 65);
+        assert_eq!(report.counter("analog.variation.rows"), 65 * 30);
+        // 65 trials = one full 64-lane block plus a one-lane remainder.
+        assert_eq!(report.counter("analog.variation.lane_blocks"), 2);
+        let root = report.span(&["test.variation"]).expect("root span");
+        assert!(
+            root.children.iter().any(|c| c.name == "analog.variation"),
+            "missing analog.variation span under {:?}",
+            root.children.iter().map(|c| &c.name).collect::<Vec<_>>()
+        );
+    }
+}
+
 /// Asserts `value` is an object with exactly `keys`, returning the
 /// fields for nested checks.
 fn object_keys<'v>(value: &'v Value, keys: &[&str]) -> Vec<&'v Value> {

@@ -1,0 +1,129 @@
+//! Property tests for the compiled lane-batched variation engine
+//! (`analog::compile`): every report must be **bit-identical** to the
+//! preserved scalar oracle (`analog::variation::reference`) across
+//! trial counts that straddle the 64-trial lane-block boundary and
+//! across thread counts, for both the tree and SVM analyzers.
+
+use printed_ml::analog::compile::{CompiledSvmVariation, CompiledTreeVariation};
+use printed_ml::analog::variation::{self, reference};
+use printed_ml::exec::with_threads;
+use printed_ml::ml::data::Standardizer;
+use printed_ml::ml::quant::{FeatureQuantizer, QuantizedSvm, QuantizedTree};
+use printed_ml::ml::synth::Application;
+use printed_ml::ml::tree::{DecisionTree, TreeParams};
+use printed_ml::ml::SvmRegressor;
+
+/// Trial counts straddling the lane-block boundary: a partial block, a
+/// single full block, and a full block plus a one-lane remainder.
+const TRIALS: [usize; 4] = [1, 5, 64, 65];
+const THREADS: [usize; 3] = [1, 4, 8];
+
+fn tree_workload(app: Application, depth: usize, bits: usize) -> (QuantizedTree, Vec<Vec<u64>>) {
+    let data = app.generate(7);
+    let (train, test) = data.split(0.7, 42);
+    let tree = DecisionTree::fit(&train, TreeParams::with_depth(depth));
+    let fq = FeatureQuantizer::fit(&train, bits);
+    let qt = QuantizedTree::from_tree(&tree, &fq);
+    let rows: Vec<Vec<u64>> = test.x.iter().take(50).map(|r| fq.code_row(r)).collect();
+    (qt, rows)
+}
+
+fn svm_workload() -> (QuantizedSvm, Vec<Vec<u64>>) {
+    let data = Application::RedWine.generate(7);
+    let (train, test) = data.split(0.7, 42);
+    let s = Standardizer::fit(&train);
+    let (train, test) = (s.transform(&train), s.transform(&test));
+    let svm = SvmRegressor::fit(&train, 150, 1e-4);
+    let fq = FeatureQuantizer::fit(&train, 8);
+    let qs = QuantizedSvm::from_svm(&svm, &fq);
+    let rows: Vec<Vec<u64>> = test.x.iter().take(60).map(|r| fq.code_row(r)).collect();
+    (qs, rows)
+}
+
+#[test]
+fn compiled_tree_reports_are_bit_identical_to_reference() {
+    let (qt, rows) = tree_workload(Application::Har, 4, 6);
+    for sigma in [0.05, 0.3] {
+        for trials in TRIALS {
+            let oracle = reference::analyze_tree_variation(&qt, &rows, sigma, trials, 9);
+            for threads in THREADS {
+                let compiled = with_threads(threads, || {
+                    variation::analyze_tree_variation(&qt, &rows, sigma, trials, 9)
+                });
+                assert_eq!(
+                    compiled, oracle,
+                    "tree sigma {sigma} trials {trials} threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_tree_matches_reference_on_a_deep_tree() {
+    // Depth 8 pushes the split count past the dense-strategy limit, so
+    // this exercises the sparse per-lane walk.
+    let (qt, rows) = tree_workload(Application::Pendigits, 8, 6);
+    let engine = CompiledTreeVariation::compile(&qt);
+    assert!(
+        engine.split_count() > 32,
+        "want the sparse path, got {} splits",
+        engine.split_count()
+    );
+    for trials in [5, 65] {
+        let oracle = reference::analyze_tree_variation(&qt, &rows, 0.1, trials, 21);
+        let compiled = engine.analyze_rows(&rows, 0.1, trials, 21);
+        assert_eq!(compiled, oracle, "deep tree, trials {trials}");
+    }
+}
+
+#[test]
+fn compiled_svm_reports_are_bit_identical_to_reference() {
+    let (qs, rows) = svm_workload();
+    for sigma in [0.02, 0.3] {
+        for trials in TRIALS {
+            let oracle = reference::analyze_svm_variation(&qs, 11, &rows, sigma, trials, 5);
+            for threads in THREADS {
+                let compiled = with_threads(threads, || {
+                    variation::analyze_svm_variation(&qs, 11, &rows, sigma, trials, 5)
+                });
+                assert_eq!(
+                    compiled, oracle,
+                    "svm sigma {sigma} trials {trials} threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_sigma_agreement_is_perfect_in_both_engines() {
+    let (qt, rows) = tree_workload(Application::Har, 4, 6);
+    let oracle = reference::analyze_tree_variation(&qt, &rows, 0.0, 65, 3);
+    let compiled = variation::analyze_tree_variation(&qt, &rows, 0.0, 65, 3);
+    assert_eq!(compiled, oracle);
+    assert_eq!(compiled.mean_agreement, 1.0);
+    assert_eq!(compiled.worst_agreement, 1.0);
+
+    let (qs, svm_rows) = svm_workload();
+    let oracle = reference::analyze_svm_variation(&qs, 11, &svm_rows, 0.0, 65, 3);
+    let compiled = variation::analyze_svm_variation(&qs, 11, &svm_rows, 0.0, 65, 3);
+    assert_eq!(compiled, oracle);
+    assert_eq!(compiled.mean_agreement, 1.0);
+    assert_eq!(compiled.worst_agreement, 1.0);
+}
+
+#[test]
+fn bound_rows_are_reusable_across_sigmas_and_seeds() {
+    let (qs, rows) = svm_workload();
+    let engine = CompiledSvmVariation::compile(&qs, 11);
+    let bound = engine.bind(&rows);
+    assert_eq!(bound.len(), rows.len());
+    for (sigma, seed) in [(0.05, 1u64), (0.2, 9)] {
+        assert_eq!(
+            engine.analyze(&bound, sigma, 10, seed),
+            reference::analyze_svm_variation(&qs, 11, &rows, sigma, 10, seed),
+            "sigma {sigma} seed {seed}"
+        );
+    }
+}
