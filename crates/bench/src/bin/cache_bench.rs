@@ -1,0 +1,212 @@
+//! Cold-vs-warm benchmark of the content-addressed artifact cache.
+//!
+//! Runs the full experiment suite twice against a dedicated, freshly
+//! wiped cache directory (`bench/out/cache_bench`, overridable with
+//! `--cache-dir`):
+//!
+//! 1. **cold** — every artifact is computed and back-filled into the
+//!    two-tier store;
+//! 2. **warm** — the in-process memo tier is dropped first
+//!    ([`cache::clear_memory`]), so every hit is served from the on-disk
+//!    tier, exactly like a fresh `repro_all` process over a populated
+//!    `bench/out/cache/`.
+//!
+//! The rendered tables of both passes are *asserted* byte-identical
+//! before the report is written — the cache must never change results,
+//! only skip recomputation. Prints both wall-times and writes a
+//! `bench/out/BENCH_cache.json` report (path overridable with `--json`):
+//!
+//! ```text
+//! cargo run --release -p bench --bin cache_bench -- [--smoke] [--threads N] [--json PATH]
+//! ```
+//!
+//! The headline `warm_speedup` (cold seconds over warm seconds) is what
+//! `perf_gate --cache` regresses against. The report carries the unified
+//! [`obs`] `report` section; the cold pass shows up in `cache.misses` /
+//! `cache.bytes_written`, the warm pass in `cache.disk_hits` /
+//! `cache.bytes_read`.
+
+use serde::Serialize;
+
+use bench::experiments as e;
+
+/// A named experiment regenerator (same list as `repro_all`).
+type Experiment = (&'static str, fn() -> Vec<bench::Table>);
+
+/// The `BENCH_cache.json` report.
+#[derive(Serialize)]
+struct Report {
+    smoke: bool,
+    threads: usize,
+    /// Wall-clock of the populate pass (empty cache).
+    cold_seconds: f64,
+    /// Wall-clock of the disk-tier replay pass.
+    warm_seconds: f64,
+    /// Headline number: `cold_seconds / warm_seconds` (gated by
+    /// `perf_gate --cache`).
+    warm_speedup: f64,
+    /// Unified observability report (`obs-report-v1`) covering both
+    /// passes: cold populates (`cache.misses`), warm replays
+    /// (`cache.disk_hits`).
+    report: obs::Report,
+}
+
+fn experiments() -> Vec<Experiment> {
+    vec![
+        ("table1", e::table1),
+        ("table2", e::table2),
+        ("table3", e::table3),
+        ("table4", e::table4),
+        ("table5", e::table5),
+        ("fig3", e::fig3),
+        ("fig6", e::fig6),
+        ("fig7", e::fig7),
+        ("fig9", e::fig9),
+        ("fig10", e::fig10),
+        ("fig11", e::fig11),
+        ("fig12", e::fig12),
+        ("fig13", e::fig13),
+        ("fig16", e::fig16),
+        ("fig17", e::fig17),
+        ("fig19", e::fig19),
+        ("ablations", e::ablations),
+    ]
+}
+
+/// Runs the whole suite under an obs span and renders every table into
+/// one canonical string (the cold/warm identity witness).
+fn run_pass(pass: &'static str) -> (String, f64) {
+    let _span = obs::span(pass);
+    let list = experiments();
+    let (finished, seconds) = exec::time(|| {
+        exec::parallel_map(&list, |_, &(name, f)| {
+            let _span = obs::span(name);
+            f()
+        })
+    });
+    let mut rendered = String::new();
+    for tables in &finished {
+        for t in tables {
+            rendered.push_str(&t.to_string());
+        }
+    }
+    (rendered, seconds)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut json_path = "bench/out/BENCH_cache.json".to_string();
+    let mut cache_dir = "bench/out/cache_bench".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                    Some(n) => exec::set_threads(n),
+                    None => {
+                        eprintln!("--threads requires a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => json_path = path.clone(),
+                    None => {
+                        eprintln!("--json requires a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => cache_dir = dir.clone(),
+                    None => {
+                        eprintln!("--cache-dir requires a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: cache_bench [--smoke] [--threads N] [--cache-dir DIR] [--json PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    bench::workloads::set_smoke(smoke);
+
+    // A dedicated, wiped store: the cold pass must really be cold, and
+    // the shared `bench/out/cache/` must not absorb benchmark artifacts.
+    cache::set_disk_root(Some(std::path::PathBuf::from(&cache_dir)));
+    cache::set_enabled(true);
+    cache::clear().expect("wipe benchmark cache dir");
+
+    obs::reset();
+    let root_span = obs::span("cache_bench");
+    let threads = exec::threads();
+    eprintln!(
+        "[cache_bench] {} experiments on {} thread(s){}, store {}",
+        experiments().len(),
+        threads,
+        if smoke { " (smoke)" } else { "" },
+        cache_dir
+    );
+
+    let (cold_tables, cold_seconds) = run_pass("cold");
+    eprintln!("[cache_bench] cold pass: {cold_seconds:.2}s");
+    // Drop the memo tier so the warm pass replays from disk, like a
+    // fresh process over a populated cache directory.
+    cache::clear_memory();
+    let (warm_tables, warm_seconds) = run_pass("warm");
+    eprintln!("[cache_bench] warm pass: {warm_seconds:.2}s");
+    assert_eq!(
+        cold_tables, warm_tables,
+        "cache changed experiment output between cold and warm passes"
+    );
+    eprintln!("[cache_bench] cold and warm tables byte-identical");
+
+    drop(root_span);
+    let obs_report = obs::report();
+    eprint!("{}", obs_report.text_summary());
+    assert!(
+        obs_report.counter("cache.disk_hits") > 0,
+        "warm pass never hit the disk tier"
+    );
+
+    let warm_speedup = if warm_seconds > 0.0 {
+        cold_seconds / warm_seconds
+    } else {
+        0.0
+    };
+    println!(
+        "headline: warm replay {warm_speedup:.2}x faster than cold ({cold_seconds:.2}s -> {warm_seconds:.2}s)"
+    );
+    let report = Report {
+        smoke,
+        threads,
+        cold_seconds,
+        warm_seconds,
+        warm_speedup,
+        report: obs_report,
+    };
+    let body = serde_json::to_string_pretty(&report).expect("serialize report");
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).ok();
+        }
+    }
+    if let Err(err) = std::fs::write(&json_path, body) {
+        eprintln!("error: cannot write {json_path}: {err}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {json_path}");
+}

@@ -1,31 +1,37 @@
 //! CI perf-regression gate over the smoke-mode benchmark reports.
 //!
-//! Reads the `repro_all --smoke --verify --json`, `opt_bench --smoke
-//! --json`, `sim_bench --smoke --json` and `variation_bench --smoke
-//! --json` reports, validates their unified [`obs`] `report` sections
-//! against the `obs-report-v1` schema, extracts the headline throughput
-//! metrics and compares them against the committed baseline
-//! (`bench/BENCH_baseline.json`). The process exits nonzero if any
-//! metric regresses by more than `--max-regress` (default 25%).
+//! Reads the `repro_all --smoke --verify --no-cache --json`, `opt_bench
+//! --smoke --json`, `sim_bench --smoke --json`, `variation_bench --smoke
+//! --json` and `cache_bench --smoke --json` reports, validates their
+//! unified [`obs`] `report` sections against the `obs-report-v1` schema,
+//! extracts the headline throughput metrics and compares them against
+//! the committed baseline (`bench/BENCH_baseline.json`). The process
+//! exits nonzero if any metric regresses by more than `--max-regress`
+//! (default 25%).
+//!
+//! The repro run feeding the gate must be `--no-cache`: its metrics are
+//! computed from pipeline counters (`netlist.opt.*` etc.) that only
+//! fire on real computation, not on artifact-cache hits.
 //!
 //! ```text
 //! cargo run --release -p bench --bin perf_gate -- \
 //!     [--repro PATH] [--opt PATH] [--sim PATH] [--variation PATH] \
-//!     [--baseline PATH] [--max-regress 0.25] [--refresh]
+//!     [--cache PATH] [--baseline PATH] [--max-regress 0.25] [--refresh]
 //! ```
 //!
 //! Refresh the baseline (after an intentional perf change) with:
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro_all -- --smoke --threads 2 --verify --json bench/out/smoke.json && cargo run --release -p bench --bin opt_bench -- --smoke --json bench/out/BENCH_opt_smoke.json && cargo run --release -p bench --bin sim_bench -- --smoke --json bench/out/BENCH_sim_smoke.json && cargo run --release -p bench --bin variation_bench -- --smoke --json bench/out/BENCH_variation_smoke.json && cargo run --release -p bench --bin perf_gate -- --refresh
+//! cargo run --release -p bench --bin repro_all -- --smoke --threads 2 --verify --no-cache --json bench/out/smoke.json && cargo run --release -p bench --bin opt_bench -- --smoke --json bench/out/BENCH_opt_smoke.json && cargo run --release -p bench --bin sim_bench -- --smoke --json bench/out/BENCH_sim_smoke.json && cargo run --release -p bench --bin variation_bench -- --smoke --json bench/out/BENCH_variation_smoke.json && cargo run --release -p bench --bin cache_bench -- --smoke --threads 2 --json bench/out/BENCH_cache_smoke.json && cargo run --release -p bench --bin perf_gate -- --refresh
 //! ```
 
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 
 /// Schema tag of the committed baseline file (v2 added the compiled
-/// simulation-kernel metric, v3 the compiled variation-engine metric).
-const BASELINE_SCHEMA: &str = "perf-baseline-v3";
+/// simulation-kernel metric, v3 the compiled variation-engine metric,
+/// v4 the artifact-cache warm-replay metric).
+const BASELINE_SCHEMA: &str = "perf-baseline-v4";
 
 /// The committed throughput baseline. All metrics are
 /// higher-is-better rates measured by the smoke workloads.
@@ -47,6 +53,10 @@ struct Baseline {
     /// Compiled lane-batched Monte-Carlo variation throughput on the
     /// HAR depth-4 analog tree (`variation_bench` headline).
     variation_trials_per_sec: f64,
+    /// Artifact-cache warm replay over cold compute, full experiment
+    /// suite (`cache_bench` headline; a dimensionless speedup, but
+    /// higher-is-better like every other metric here).
+    cache_warm_speedup: f64,
 }
 
 fn fail(msg: &str) -> ! {
@@ -103,6 +113,7 @@ fn main() {
     let mut opt_path = "bench/out/BENCH_opt_smoke.json".to_string();
     let mut sim_path = "bench/out/BENCH_sim_smoke.json".to_string();
     let mut variation_path = "bench/out/BENCH_variation_smoke.json".to_string();
+    let mut cache_path = "bench/out/BENCH_cache_smoke.json".to_string();
     let mut baseline_path = "bench/BENCH_baseline.json".to_string();
     let mut max_regress = 0.25f64;
     let mut refresh = false;
@@ -120,6 +131,7 @@ fn main() {
             "--opt" => opt_path = path_arg(&args, &mut i),
             "--sim" => sim_path = path_arg(&args, &mut i),
             "--variation" => variation_path = path_arg(&args, &mut i),
+            "--cache" => cache_path = path_arg(&args, &mut i),
             "--baseline" => baseline_path = path_arg(&args, &mut i),
             "--max-regress" => {
                 i += 1;
@@ -134,7 +146,8 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: perf_gate [--repro PATH] [--opt PATH] [--sim PATH] \
-                     [--variation PATH] [--baseline PATH] [--max-regress F] [--refresh]"
+                     [--variation PATH] [--cache PATH] [--baseline PATH] \
+                     [--max-regress F] [--refresh]"
                 );
                 std::process::exit(2);
             }
@@ -146,6 +159,7 @@ fn main() {
     let opt = load(&opt_path);
     let sim = load(&sim_path);
     let variation = load(&variation_path);
+    let cache = load(&cache_path);
     let repro_obs = validate_obs_section(
         &repro_path,
         &repro,
@@ -179,6 +193,18 @@ fn main() {
             "analog.variation.rows",
         ],
     );
+    // The cold pass populates (`misses`/`bytes_written`), the warm pass
+    // replays from the disk tier (`disk_hits`/`bytes_read`).
+    validate_obs_section(
+        &cache_path,
+        &cache,
+        &[
+            "cache.misses",
+            "cache.bytes_written",
+            "cache.disk_hits",
+            "cache.bytes_read",
+        ],
+    );
     eprintln!("[perf_gate] obs report sections valid ({})", obs::SCHEMA);
 
     let opt_secs = repro_obs.counter("netlist.opt.ns") as f64 * 1e-9;
@@ -190,6 +216,7 @@ fn main() {
         opt_svm16_gates_per_sec: num(&opt_path, &opt, &["svm16_gates_per_sec"]),
         sim_svm16_vectors_per_sec: num(&sim_path, &sim, &["svm16_vectors_per_sec"]),
         variation_trials_per_sec: num(&variation_path, &variation, &["tree_trials_per_sec"]),
+        cache_warm_speedup: num(&cache_path, &cache, &["warm_speedup"]),
     };
 
     if refresh {
@@ -243,6 +270,11 @@ fn main() {
             "variation.trials_per_sec",
             current.variation_trials_per_sec,
             baseline.variation_trials_per_sec,
+        ),
+        (
+            "cache.warm_speedup",
+            current.cache_warm_speedup,
+            baseline.cache_warm_speedup,
         ),
     ];
     let floor = 1.0 - max_regress;

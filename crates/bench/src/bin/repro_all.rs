@@ -14,6 +14,11 @@
 //!   machine's hardware parallelism);
 //! - `--smoke` — run every experiment over reduced workloads (CI's
 //!   end-to-end harness check);
+//! - `--no-cache` — disable the content-addressed artifact cache (also
+//!   settable via `PRINTED_ML_NO_CACHE=1`); by default warm runs reuse
+//!   trained models, optimized netlists and PPA results from
+//!   `bench/out/cache/` (see `docs/caching.md`) and produce
+//!   byte-identical `experiments`/`verify` sections;
 //! - `--verify` — append the equivalence/fault-grading sign-off stage
 //!   (see [`bench::verify`]); the process exits nonzero if any
 //!   architecture disagrees with its unoptimized reference;
@@ -61,13 +66,14 @@ struct Report {
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: repro_all [--threads N] [--smoke] [--verify] [--json PATH]");
+    eprintln!("usage: repro_all [--threads N] [--smoke] [--verify] [--no-cache] [--json PATH]");
     std::process::exit(2);
 }
 
 fn main() {
     let mut smoke = false;
     let mut verify = false;
+    let mut no_cache = false;
     let mut json_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -75,6 +81,7 @@ fn main() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
             "--verify" => verify = true,
+            "--no-cache" => no_cache = true,
             "--threads" => {
                 i += 1;
                 let Some(n) = args.get(i).and_then(|v| v.parse().ok()).filter(|&n| n > 0) else {
@@ -94,6 +101,9 @@ fn main() {
         i += 1;
     }
     bench::workloads::set_smoke(smoke);
+    if !no_cache {
+        cache::enable_default();
+    }
     obs::reset();
     let root_span = obs::span("repro_all");
 
@@ -118,10 +128,11 @@ fn main() {
     ];
     let threads = exec::threads();
     eprintln!(
-        "[repro] running {} experiments on {} thread(s){}",
+        "[repro] running {} experiments on {} thread(s){}, cache {}",
         experiments.len(),
         threads,
-        if smoke { " (smoke)" } else { "" }
+        if smoke { " (smoke)" } else { "" },
+        if cache::enabled() { "on" } else { "off" }
     );
     let finished: Vec<Vec<bench::Table>> = exec::parallel_map(&experiments, |_, &(name, f)| {
         let _span = obs::span(name);

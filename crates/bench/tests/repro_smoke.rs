@@ -29,11 +29,19 @@ const EXPECTED: [&str; 17] = [
 #[test]
 fn smoke_report_parses_and_covers_every_experiment() {
     let out_path = std::env::temp_dir().join("printed_ml_repro_smoke.json");
+    // Isolate the default-on artifact cache: the test must not seed the
+    // repo-relative store with debug-run artifacts.
+    let cache_dir = std::env::temp_dir().join(format!(
+        "printed_ml_repro_smoke_cache_{}",
+        std::process::id()
+    ));
     let output = Command::new(env!("CARGO_BIN_EXE_repro_all"))
+        .env("PRINTED_ML_CACHE_DIR", &cache_dir)
         .args(["--smoke", "--threads", "2", "--verify", "--json"])
         .arg(&out_path)
         .output()
         .expect("run repro_all");
+    std::fs::remove_dir_all(&cache_dir).ok();
     assert!(
         output.status.success(),
         "repro_all failed:\n{}",

@@ -1,0 +1,355 @@
+//! Two-tier content-addressed store.
+//!
+//! Tier 1 is an in-process memo map (`(domain, key) → Arc<artifact>`)
+//! that deduplicates repeated constructions within one run. Tier 2 is an
+//! on-disk JSON store (`<root>/cache-v1/<domain>/<key>.json`, written
+//! through the in-repo serde shims) that lets a later process skip the
+//! work entirely.
+//!
+//! The store is **off by default**: library code calls
+//! [`get_or_compute`] unconditionally, and unless a binary opted in via
+//! [`set_enabled`] the call falls straight through to the compute
+//! closure with no hashing or locking on the way. This keeps tests and
+//! library consumers byte-for-byte on the uncached path unless they ask
+//! otherwise.
+//!
+//! Correctness stance: keys are full content hashes (see
+//! [`crate::hash`]), values round-trip exactly through the serde shims
+//! (finite floats use the shortest-exact representation), so a cache hit
+//! returns a value `==` to what the closure would have computed.
+//! Unreadable, unparsable or shape-mismatched disk entries are dropped
+//! and recomputed — a corrupted cache can cost time, never correctness.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::hash::Key;
+
+/// Artifact-cache hits served from the in-process memo map.
+static MEM_HITS: obs::Counter = obs::Counter::new("cache.mem_hits");
+/// Artifact-cache hits served from the on-disk store.
+static DISK_HITS: obs::Counter = obs::Counter::new("cache.disk_hits");
+/// Artifact-cache misses (the artifact was computed).
+static MISSES: obs::Counter = obs::Counter::new("cache.misses");
+/// Disk entries dropped because they failed to read, parse or decode.
+static STALE_DROPS: obs::Counter = obs::Counter::new("cache.stale_drops");
+/// Bytes read from the on-disk store (hits only).
+static BYTES_READ: obs::Counter = obs::Counter::new("cache.bytes_read");
+/// Bytes written to the on-disk store.
+static BYTES_WRITTEN: obs::Counter = obs::Counter::new("cache.bytes_written");
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+type MemMap = HashMap<(&'static str, Key), Arc<dyn Any + Send + Sync>>;
+
+fn mem() -> &'static Mutex<MemMap> {
+    static MEM: OnceLock<Mutex<MemMap>> = OnceLock::new();
+    MEM.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn disk() -> &'static Mutex<Option<PathBuf>> {
+    static DISK: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+    DISK.get_or_init(|| Mutex::new(None))
+}
+
+/// Turns the cache on or off process-wide. Off (the default) makes
+/// [`get_or_compute`] a pass-through.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the cache is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Sets (or clears) the on-disk tier's root directory. The schema
+/// directory (`cache-v1`) is appended beneath it.
+pub fn set_disk_root(root: Option<PathBuf>) {
+    *disk().lock().unwrap() = root;
+}
+
+/// The configured on-disk root, if any.
+pub fn disk_root() -> Option<PathBuf> {
+    disk().lock().unwrap().clone()
+}
+
+/// Default on-disk root used by the binaries.
+pub const DEFAULT_DISK_ROOT: &str = "bench/out/cache";
+
+/// Opts a binary into both tiers with the conventional defaults: memo
+/// map on, disk store under `bench/out/cache` (overridable via the
+/// `PRINTED_ML_CACHE_DIR` environment variable). Setting
+/// `PRINTED_ML_NO_CACHE=1` wins over everything and leaves the cache
+/// disabled — the same effect as the binaries' `--no-cache` flag.
+pub fn enable_default() {
+    if std::env::var("PRINTED_ML_NO_CACHE").is_ok_and(|v| v == "1") {
+        return;
+    }
+    let root = std::env::var("PRINTED_ML_CACHE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(DEFAULT_DISK_ROOT));
+    set_disk_root(Some(root));
+    set_enabled(true);
+}
+
+/// Drops every in-process memo entry (the disk tier is untouched).
+/// Used by benchmarks to measure warm-from-disk performance.
+pub fn clear_memory() {
+    mem().lock().unwrap().clear();
+}
+
+fn entry_path(root: &Path, domain: &str, key: Key) -> PathBuf {
+    root.join(crate::SCHEMA)
+        .join(domain)
+        .join(format!("{key}.json"))
+}
+
+/// Looks up `(domain, key)` in both tiers, computing and back-filling on
+/// a miss. `domain` must be a fixed string naming the artifact kind; the
+/// key must be a content hash of everything the computation depends on.
+pub fn get_or_compute<T, F>(domain: &'static str, key: Key, compute: F) -> T
+where
+    T: serde::Serialize + serde::Deserialize + Clone + Send + Sync + 'static,
+    F: FnOnce() -> T,
+{
+    if !enabled() {
+        return compute();
+    }
+    if let Some(hit) = mem().lock().unwrap().get(&(domain, key)) {
+        if let Some(value) = hit.downcast_ref::<T>() {
+            MEM_HITS.incr();
+            return value.clone();
+        }
+    }
+    if let Some(root) = disk_root() {
+        let path = entry_path(&root, domain, key);
+        match std::fs::read_to_string(&path) {
+            Ok(body) => match serde_json::from_str::<T>(&body) {
+                Ok(value) => {
+                    DISK_HITS.incr();
+                    BYTES_READ.add(body.len() as u64);
+                    mem()
+                        .lock()
+                        .unwrap()
+                        .insert((domain, key), Arc::new(value.clone()));
+                    return value;
+                }
+                Err(_) => {
+                    // Corrupted or stale (schema-incompatible) entry:
+                    // drop it and fall through to recompute.
+                    STALE_DROPS.incr();
+                    let _ = std::fs::remove_file(&path);
+                }
+            },
+            Err(err) if err.kind() != std::io::ErrorKind::NotFound => {
+                STALE_DROPS.incr();
+                let _ = std::fs::remove_file(&path);
+            }
+            Err(_) => {}
+        }
+    }
+    MISSES.incr();
+    let value = compute();
+    mem()
+        .lock()
+        .unwrap()
+        .insert((domain, key), Arc::new(value.clone()));
+    if let Some(root) = disk_root() {
+        let path = entry_path(&root, domain, key);
+        if let Ok(body) = serde_json::to_string(&value) {
+            write_atomic(&path, &body);
+        }
+    }
+    value
+}
+
+/// Writes `body` via a unique temp file + rename so concurrent writers
+/// (two processes computing the same artifact) can never tear an entry.
+fn write_atomic(path: &Path, body: &str) {
+    let Some(dir) = path.parent() else { return };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+    if std::fs::write(&tmp, body).is_ok() && std::fs::rename(&tmp, path).is_ok() {
+        BYTES_WRITTEN.add(body.len() as u64);
+    } else {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+/// Per-domain disk usage: `(domain, entries, bytes)`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct DomainStats {
+    /// Artifact kind (subdirectory name).
+    pub domain: String,
+    /// Number of stored entries.
+    pub entries: u64,
+    /// Total bytes across the entries.
+    pub bytes: u64,
+}
+
+/// Walks the on-disk store and reports per-domain usage, sorted by
+/// domain name. Returns `None` when no disk root is configured or the
+/// store does not exist yet.
+pub fn disk_stats() -> Option<Vec<DomainStats>> {
+    let root = disk_root()?.join(crate::SCHEMA);
+    let dirs = std::fs::read_dir(&root).ok()?;
+    let mut stats = Vec::new();
+    for dir in dirs.flatten() {
+        if !dir.path().is_dir() {
+            continue;
+        }
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        if let Ok(files) = std::fs::read_dir(dir.path()) {
+            for f in files.flatten() {
+                if f.path().extension().is_some_and(|e| e == "json") {
+                    entries += 1;
+                    bytes += f.metadata().map(|m| m.len()).unwrap_or(0);
+                }
+            }
+        }
+        stats.push(DomainStats {
+            domain: dir.file_name().to_string_lossy().into_owned(),
+            entries,
+            bytes,
+        });
+    }
+    stats.sort_by(|a, b| a.domain.cmp(&b.domain));
+    Some(stats)
+}
+
+/// Deletes the entire on-disk store (all schema generations under the
+/// configured root) and the in-process memo map. Returns the number of
+/// entries removed, or an error if the root could not be deleted.
+pub fn clear() -> std::io::Result<u64> {
+    clear_memory();
+    let Some(root) = disk_root() else {
+        return Ok(0);
+    };
+    let removed = disk_stats()
+        .map(|s| s.iter().map(|d| d.entries).sum())
+        .unwrap_or(0);
+    match std::fs::remove_dir_all(&root) {
+        Ok(()) => Ok(removed),
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(0),
+        Err(err) => Err(err),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::key_for;
+
+    /// The store config is process-global; serialize the tests touching it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_enabled(false);
+            set_disk_root(None);
+            clear_memory();
+        }
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("printed_ml_cache_test_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disabled_cache_always_computes() {
+        let _lock = LOCK.lock().unwrap();
+        let _restore = Restore;
+        set_enabled(false);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v: u64 = get_or_compute("test.disabled", key_for("t", &1u64), || {
+                calls += 1;
+                42
+            });
+            assert_eq!(v, 42);
+        }
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn memory_tier_deduplicates_within_a_process() {
+        let _lock = LOCK.lock().unwrap();
+        let _restore = Restore;
+        set_enabled(true);
+        set_disk_root(None);
+        clear_memory();
+        let key = key_for("t", &"memo");
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v: String = get_or_compute("test.memo", key, || {
+                calls += 1;
+                "value".to_string()
+            });
+            assert_eq!(v, "value");
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_memory_clear() {
+        let _lock = LOCK.lock().unwrap();
+        let _restore = Restore;
+        let root = temp_root("disk");
+        set_enabled(true);
+        set_disk_root(Some(root.clone()));
+        clear_memory();
+        let key = key_for("t", &"disk");
+        let cold: Vec<f64> = get_or_compute("test.disk", key, || vec![0.1, -0.0, 3.5e300]);
+        clear_memory(); // simulate a fresh process
+        let warm: Vec<f64> = get_or_compute("test.disk", key, || panic!("must hit disk"));
+        assert_eq!(cold, warm);
+        assert_eq!(warm[1].to_bits(), (-0.0f64).to_bits());
+        let stats = disk_stats().expect("stats");
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].domain, "test.disk");
+        assert_eq!(stats[0].entries, 1);
+        assert!(stats[0].bytes > 0);
+        let removed = clear().expect("clear");
+        assert_eq!(removed, 1);
+        assert!(!root.exists());
+    }
+
+    #[test]
+    fn corrupted_and_mismatched_entries_fall_back_to_compute() {
+        let _lock = LOCK.lock().unwrap();
+        let _restore = Restore;
+        let root = temp_root("corrupt");
+        set_enabled(true);
+        set_disk_root(Some(root.clone()));
+        clear_memory();
+        let key = key_for("t", &"corrupt");
+        let path = entry_path(&root, "test.corrupt", key);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+
+        // Unparsable JSON: recomputed, entry replaced with a good one.
+        std::fs::write(&path, "{not json").unwrap();
+        let v: u64 = get_or_compute("test.corrupt", key, || 7);
+        assert_eq!(v, 7);
+        clear_memory();
+        let warm: u64 = get_or_compute("test.corrupt", key, || panic!("must hit disk"));
+        assert_eq!(warm, 7);
+
+        // Parsable but wrong shape (stale schema): also recomputed.
+        clear_memory();
+        std::fs::write(&path, "\"a string, not a number\"").unwrap();
+        let v: u64 = get_or_compute("test.corrupt", key, || 9);
+        assert_eq!(v, 9);
+
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -11,12 +11,13 @@ use ml::metrics::accuracy;
 use ml::quant::{FeatureQuantizer, QuantizedSvm, QuantizedTree};
 use ml::tree::DecisionTree;
 use ml::SvmRegressor;
+use serde::{Deserialize, Serialize};
 
 /// The candidate widths the paper sweeps.
 pub const WIDTHS: [usize; 4] = [4, 8, 12, 16];
 
 /// Outcome of a width search.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WidthChoice {
     /// Chosen datapath width.
     pub bits: usize,

@@ -6,6 +6,8 @@
 //! bit-width search, then generate and price any of the paper's
 //! architectures in any technology.
 
+use std::sync::OnceLock;
+
 use analog::tree::AnalogTreeConfig;
 use analog::VariationReport;
 use ml::data::{Dataset, Standardizer};
@@ -16,6 +18,7 @@ use ml::tree::{DecisionTree, TreeParams};
 use ml::SvmRegressor;
 use netlist::{analyze, Module};
 use pdk::{CellLibrary, Technology};
+use serde::{Deserialize, Serialize};
 
 use crate::analog_arch::{analog_svm_report, analog_tree_report};
 use crate::bespoke::{bespoke_parallel, bespoke_serial, bespoke_svm};
@@ -73,6 +76,9 @@ pub struct TreeFlow {
     pub float_accuracy: f64,
     /// Standardized test split, for functional verification.
     pub test: Dataset,
+    /// Lazily computed 8-bit requantization for the conventional engines
+    /// (see [`TreeFlow::conventional_qt`]).
+    conv_qt: OnceLock<QuantizedTree>,
 }
 
 impl TreeFlow {
@@ -95,6 +101,20 @@ impl TreeFlow {
     }
 
     fn with_params(app: Application, depth: usize, seed: u64, params: TreeParams) -> Self {
+        if !cache::enabled() {
+            return Self::with_params_impl(app, depth, seed, params);
+        }
+        let mut h = cache::StableHasher::new("core.flow.tree");
+        h.write_str(app.name());
+        h.write_usize(depth);
+        h.write_u64(seed);
+        cache::Hashable::stable_hash(&params, &mut h);
+        cache::get_or_compute("core.flow.tree", h.finish(), || {
+            Self::with_params_impl(app, depth, seed, params)
+        })
+    }
+
+    fn with_params_impl(app: Application, depth: usize, seed: u64, params: TreeParams) -> Self {
         let data = app.generate(seed);
         let (train, test) = data.split(0.7, 42);
         let s = Standardizer::fit(&train);
@@ -113,6 +133,7 @@ impl TreeFlow {
             choice,
             float_accuracy,
             test,
+            conv_qt: OnceLock::new(),
         }
     }
 
@@ -128,7 +149,7 @@ impl TreeFlow {
                 let qt = self.conventional_qt();
                 let prog =
                     if qt.used_features().len() <= spec.n_features && qt.depth() <= spec.depth {
-                        program(&qt, &spec)
+                        program(qt, &spec)
                     } else {
                         crate::conventional::serial_tree::SerialTreeProgram {
                             threshold_rom: vec![0; 1 << (spec.depth + 1)],
@@ -174,23 +195,27 @@ impl TreeFlow {
     }
 
     /// An 8-bit quantization of the same tree, as loaded into the
-    /// general-purpose conventional engines.
-    fn conventional_qt(&self) -> QuantizedTree {
-        // Conventional engines are fixed at 8-bit; requantize if the
-        // bespoke choice differs.
-        if self.fq.bits() == 8 {
-            self.qt.clone()
-        } else {
-            // Re-derive from the same underlying thresholds: the quantized
-            // tree at 8 bits is produced during width search; rebuild it.
-            let data = self.app.generate(7);
-            let (train, _) = data.split(0.7, 42);
-            let s = Standardizer::fit(&train);
-            let train = s.transform(&train);
-            let tree = DecisionTree::fit(&train, TreeParams::with_depth(self.depth));
-            let fq = FeatureQuantizer::fit(&train, 8);
-            QuantizedTree::from_tree(&tree, &fq)
-        }
+    /// general-purpose conventional engines. Memoized: the requantization
+    /// re-trains on the source data, so repeated pricing of the
+    /// conventional engines (once per technology) must not repeat it.
+    fn conventional_qt(&self) -> &QuantizedTree {
+        self.conv_qt.get_or_init(|| {
+            // Conventional engines are fixed at 8-bit; requantize if the
+            // bespoke choice differs.
+            if self.fq.bits() == 8 {
+                self.qt.clone()
+            } else {
+                // Re-derive from the same underlying thresholds: the quantized
+                // tree at 8 bits is produced during width search; rebuild it.
+                let data = self.app.generate(7);
+                let (train, _) = data.split(0.7, 42);
+                let s = Standardizer::fit(&train);
+                let train = s.transform(&train);
+                let tree = DecisionTree::fit(&train, TreeParams::with_depth(self.depth));
+                let fq = FeatureQuantizer::fit(&train, 8);
+                QuantizedTree::from_tree(&tree, &fq)
+            }
+        })
     }
 
     /// Prices `arch` in `tech`.
@@ -224,6 +249,56 @@ impl TreeFlow {
     }
 }
 
+// Manual impls: `OnceLock` has no serde support, so the memo travels as an
+// `Option` and is re-seeded into a fresh cell on the way back in.
+impl Serialize for TreeFlow {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("app".to_string(), self.app.to_value()),
+            ("depth".to_string(), self.depth.to_value()),
+            ("qt".to_string(), self.qt.to_value()),
+            ("fq".to_string(), self.fq.to_value()),
+            ("choice".to_string(), self.choice.to_value()),
+            ("float_accuracy".to_string(), self.float_accuracy.to_value()),
+            ("test".to_string(), self.test.to_value()),
+            (
+                "conv_qt".to_string(),
+                self.conv_qt.get().cloned().to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for TreeFlow {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = match v {
+            serde::Value::Object(fields) => fields,
+            _ => return Err(serde::Error::msg("TreeFlow: expected object")),
+        };
+        let field = |name: &str| -> Result<&serde::Value, serde::Error> {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| serde::Error::msg(format!("TreeFlow: missing field `{name}`")))
+        };
+        let conv_qt = OnceLock::new();
+        if let Some(qt) = Option::<QuantizedTree>::from_value(field("conv_qt")?)? {
+            let _ = conv_qt.set(qt);
+        }
+        Ok(TreeFlow {
+            app: Deserialize::from_value(field("app")?)?,
+            depth: Deserialize::from_value(field("depth")?)?,
+            qt: Deserialize::from_value(field("qt")?)?,
+            fq: Deserialize::from_value(field("fq")?)?,
+            choice: Deserialize::from_value(field("choice")?)?,
+            float_accuracy: Deserialize::from_value(field("float_accuracy")?)?,
+            test: Deserialize::from_value(field("test")?)?,
+            conv_qt,
+        })
+    }
+}
+
 fn kind_tag(arch: TreeArch) -> &'static str {
     match arch {
         TreeArch::ConventionalSerial => "conv-serial",
@@ -236,7 +311,7 @@ fn kind_tag(arch: TreeArch) -> &'static str {
 }
 
 /// A trained, quantized SVM-regression workload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SvmFlow {
     /// Source application.
     pub app: Application,
@@ -272,6 +347,20 @@ impl SvmFlow {
     }
 
     fn with_hyper(app: Application, seed: u64, epochs: usize, l2: f64) -> Self {
+        if !cache::enabled() {
+            return Self::with_hyper_impl(app, seed, epochs, l2);
+        }
+        let mut h = cache::StableHasher::new("core.flow.svm");
+        h.write_str(app.name());
+        h.write_u64(seed);
+        h.write_usize(epochs);
+        h.write_f64(l2);
+        cache::get_or_compute("core.flow.svm", h.finish(), || {
+            Self::with_hyper_impl(app, seed, epochs, l2)
+        })
+    }
+
+    fn with_hyper_impl(app: Application, seed: u64, epochs: usize, l2: f64) -> Self {
         let data = app.generate(seed);
         let n_features = data.n_features();
         let (train, test) = data.split(0.7, 42);
@@ -488,7 +577,7 @@ mod search_tests {
 
 /// A trained, quantized random-forest workload (§III's tunable
 /// accuracy/cost ensemble).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ForestFlow {
     /// Source application.
     pub app: Application,
@@ -508,6 +597,19 @@ impl ForestFlow {
     /// Trains an RF-`n_trees` ensemble (paper configuration: depth-8
     /// members) on `app` at 8-bit quantization.
     pub fn new(app: Application, n_trees: usize, seed: u64) -> Self {
+        if !cache::enabled() {
+            return Self::new_impl(app, n_trees, seed);
+        }
+        let mut h = cache::StableHasher::new("core.flow.forest");
+        h.write_str(app.name());
+        h.write_usize(n_trees);
+        h.write_u64(seed);
+        cache::get_or_compute("core.flow.forest", h.finish(), || {
+            Self::new_impl(app, n_trees, seed)
+        })
+    }
+
+    fn new_impl(app: Application, n_trees: usize, seed: u64) -> Self {
         let data = app.generate(seed);
         let (train, test) = data.split(0.7, 42);
         let s = Standardizer::fit(&train);

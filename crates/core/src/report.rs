@@ -7,14 +7,14 @@
 
 use std::fmt;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use pdk::power_src::Feasibility;
 use pdk::units::{Area, Delay, Power};
 use pdk::Technology;
 
 /// The evaluated cost of one classifier design in one technology.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DesignReport {
     /// Human-readable design name (e.g. `"bespoke-parallel-dt4-cardio"`).
     pub name: String,
@@ -78,7 +78,7 @@ impl fmt::Display for DesignReport {
 
 /// Ratios of a design against a baseline (a value of 48.9 in `area` reads
 /// "48.9× lower area than the baseline").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Improvement {
     /// Baseline latency / this latency.
     pub delay: f64,

@@ -6,9 +6,10 @@
 //! the training set only.
 
 use exec::rng::{SliceRandom, StdRng};
+use serde::{Deserialize, Serialize};
 
 /// A labelled dataset: dense row-major features and integer class labels.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
     /// Feature rows; every row has the same length.
     pub x: Vec<Vec<f64>>,
@@ -78,8 +79,26 @@ impl Dataset {
     }
 }
 
+impl cache::Hashable for Dataset {
+    fn stable_hash(&self, h: &mut cache::StableHasher) {
+        h.write_str(&self.name);
+        h.write_usize(self.n_classes);
+        h.write_seq_len(self.x.len());
+        for row in &self.x {
+            h.write_seq_len(row.len());
+            for &v in row {
+                h.write_f64(v);
+            }
+        }
+        h.write_seq_len(self.y.len());
+        for &l in &self.y {
+            h.write_usize(l);
+        }
+    }
+}
+
 /// Per-feature affine normalization fitted on a training set.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Standardizer {
     mean: Vec<f64>,
     std: Vec<f64>,

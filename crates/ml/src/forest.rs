@@ -7,12 +7,14 @@
 //! single trees.
 
 use exec::rng::{SliceRandom, StdRng};
+use serde::{Deserialize, Serialize};
 
 use crate::data::Dataset;
+use crate::fit_key;
 use crate::tree::{DecisionTree, TreeParams};
 
 /// Random-forest hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ForestParams {
     /// Number of trees (paper: 2, 4, 8).
     pub n_trees: usize,
@@ -34,7 +36,7 @@ impl ForestParams {
 }
 
 /// A trained random forest.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
     n_classes: usize,
@@ -42,8 +44,28 @@ pub struct RandomForest {
 
 impl RandomForest {
     /// Fits `params.n_trees` bagged trees, each restricted to a random
-    /// `sqrt(n_features)`-sized feature subset.
+    /// `sqrt(n_features)`-sized feature subset. Cached by
+    /// `(data, params)` when the artifact cache is enabled.
     pub fn fit(data: &Dataset, params: ForestParams) -> Self {
+        if !cache::enabled() {
+            return Self::fit_impl(data, params);
+        }
+        let key = fit_key(
+            "ml.forest.fit",
+            data,
+            &[
+                params.n_trees as u64,
+                params.tree.max_depth as u64,
+                params.tree.min_samples_split as u64,
+                params.tree.max_thresholds as u64,
+                params.seed,
+            ],
+            &[],
+        );
+        cache::get_or_compute("ml.forest.fit", key, || Self::fit_impl(data, params))
+    }
+
+    fn fit_impl(data: &Dataset, params: ForestParams) -> Self {
         let mut rng = StdRng::seed_from_u64(params.seed);
         let n = data.len();
         let subset_size = ((data.n_features() as f64).sqrt().ceil() as usize)

@@ -8,11 +8,13 @@
 //! disqualify them for printed implementation.
 
 use exec::rng::{SliceRandom, StdRng};
+use serde::{Deserialize, Serialize};
 
 use crate::data::Dataset;
+use crate::fit_key;
 
 /// Linear SVM regressor over class labels (paper's SVM-R).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SvmRegressor {
     weights: Vec<f64>,
     bias: f64,
@@ -23,8 +25,17 @@ impl SvmRegressor {
     /// Fits by full-batch gradient descent on L2-regularized squared loss.
     ///
     /// Squared loss is the ε=0 limit of ε-insensitive SVR loss; for the
-    /// hardware study only the trained coefficient vector matters.
+    /// hardware study only the trained coefficient vector matters. Cached
+    /// by `(data, epochs, l2)` when the artifact cache is enabled.
     pub fn fit(data: &Dataset, epochs: usize, l2: f64) -> Self {
+        if !cache::enabled() {
+            return Self::fit_impl(data, epochs, l2);
+        }
+        let key = fit_key("ml.svm.fit", data, &[epochs as u64], &[l2]);
+        cache::get_or_compute("ml.svm.fit", key, || Self::fit_impl(data, epochs, l2))
+    }
+
+    fn fit_impl(data: &Dataset, epochs: usize, l2: f64) -> Self {
         let _span = obs::span("ml.svm.fit");
         obs::counter_add("ml.svm.fits", 1);
         obs::counter_add("ml.svm.epochs", epochs as u64);
@@ -89,7 +100,7 @@ impl SvmRegressor {
 }
 
 /// One-vs-one linear SVM classifier (paper's SVM-C).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SvmClassifier {
     /// One `(class_a, class_b, weights, bias)` per unordered class pair.
     machines: Vec<(usize, usize, Vec<f64>, f64)>,
@@ -99,6 +110,16 @@ pub struct SvmClassifier {
 impl SvmClassifier {
     /// Fits `k(k-1)/2` pairwise hinge-loss SVMs with Pegasos-style SGD.
     pub fn fit(data: &Dataset, epochs: usize, lambda: f64, seed: u64) -> Self {
+        if !cache::enabled() {
+            return Self::fit_impl(data, epochs, lambda, seed);
+        }
+        let key = fit_key("ml.svmc.fit", data, &[epochs as u64, seed], &[lambda]);
+        cache::get_or_compute("ml.svmc.fit", key, || {
+            Self::fit_impl(data, epochs, lambda, seed)
+        })
+    }
+
+    fn fit_impl(data: &Dataset, epochs: usize, lambda: f64, seed: u64) -> Self {
         let _span = obs::span("ml.svm.fit");
         obs::counter_add("ml.svm.fits", 1);
         obs::counter_add("ml.svm.epochs", epochs as u64);
@@ -194,7 +215,7 @@ fn pegasos(
 }
 
 /// Multinomial logistic regression.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LogisticRegression {
     /// `n_classes × n_features` weight matrix.
     weights: Vec<Vec<f64>>,
@@ -204,6 +225,14 @@ pub struct LogisticRegression {
 impl LogisticRegression {
     /// Fits by full-batch softmax gradient descent.
     pub fn fit(data: &Dataset, epochs: usize, lr: f64) -> Self {
+        if !cache::enabled() {
+            return Self::fit_impl(data, epochs, lr);
+        }
+        let key = fit_key("ml.lr.fit", data, &[epochs as u64], &[lr]);
+        cache::get_or_compute("ml.lr.fit", key, || Self::fit_impl(data, epochs, lr))
+    }
+
+    fn fit_impl(data: &Dataset, epochs: usize, lr: f64) -> Self {
         let k = data.n_classes;
         let d = data.n_features();
         let n = data.len() as f64;

@@ -6,11 +6,13 @@
 //! prohibitively expensive in printed technologies.
 
 use exec::rng::{SliceRandom, StdRng};
+use serde::{Deserialize, Serialize};
 
 use crate::data::Dataset;
+use crate::fit_key;
 
 /// One dense layer.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Layer {
     /// `out × in` weights.
     w: Vec<Vec<f64>>,
@@ -38,13 +40,13 @@ impl Layer {
 }
 
 /// A trained MLP classifier.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Mlp {
     layers: Vec<Layer>,
 }
 
 /// MLP hyper-parameters.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MlpParams {
     /// Hidden layer widths (paper: `[5]` for MLP-1, `[5,5,5]` for MLP-3).
     pub hidden: Vec<usize>,
@@ -80,7 +82,19 @@ impl MlpParams {
 
 impl Mlp {
     /// Trains with mini-batch SGD (batch 16) on softmax cross-entropy.
+    /// Cached by `(data, params)` when the artifact cache is enabled.
     pub fn fit(data: &Dataset, params: &MlpParams) -> Self {
+        if !cache::enabled() {
+            return Self::fit_impl(data, params);
+        }
+        let mut ints: Vec<u64> = params.hidden.iter().map(|&w| w as u64).collect();
+        ints.push(params.epochs as u64);
+        ints.push(params.seed);
+        let key = fit_key("ml.mlp.fit", data, &ints, &[params.lr]);
+        cache::get_or_compute("ml.mlp.fit", key, || Self::fit_impl(data, params))
+    }
+
+    fn fit_impl(data: &Dataset, params: &MlpParams) -> Self {
         let mut rng = StdRng::seed_from_u64(params.seed);
         let mut dims = vec![data.n_features()];
         dims.extend(&params.hidden);

@@ -14,12 +14,14 @@
 //!   so the hardware can stay unsigned (`P − N > boundary` becomes
 //!   `P > N + boundary`).
 
+use serde::{Deserialize, Serialize};
+
 use crate::data::Dataset;
 use crate::linear::SvmRegressor;
 use crate::tree::{DecisionTree, TreeNode};
 
 /// Per-feature affine quantizer onto `0 ..= 2^bits - 1`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FeatureQuantizer {
     min: Vec<f64>,
     step: Vec<f64>,
@@ -107,7 +109,7 @@ pub type QHeapSplit = (usize, usize, u64);
 pub type QHeapLeaf = (usize, usize, usize);
 
 /// Integer-threshold decision tree: the function the tree hardware computes.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuantizedTree {
     nodes: Vec<QNode>,
     n_classes: usize,
@@ -115,7 +117,7 @@ pub struct QuantizedTree {
 }
 
 /// Quantized tree node.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum QNode {
     /// `code[feature] <= threshold` goes left.
     Split {
@@ -269,7 +271,7 @@ impl QuantizedTree {
 /// coefficients `g_i`. Splitting by coefficient sign,
 /// `D = P − N`, and the class-boundary tests `D > B_c` become the unsigned
 /// comparisons `P > N + B_c` the hardware implements.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuantizedSvm {
     /// `(feature, magnitude)` terms with positive integer coefficients.
     pos_terms: Vec<(usize, u64)>,
@@ -514,7 +516,7 @@ mod tests {
 ///
 /// Ties break toward the lowest class index (the ascending-scan argmax the
 /// hardware voter implements).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuantizedForest {
     trees: Vec<QuantizedTree>,
     n_classes: usize,

@@ -3,13 +3,27 @@
 //! A lightweight analogue of scikit-learn's `RandomizedSearchCV` used in
 //! §III: sample hyper-parameter candidates, score each by k-fold CV
 //! accuracy on the training set, keep the best.
+//!
+//! The `candidate × fold` grid is sharded over [`exec::parallel_map`]:
+//! every candidate is drawn from the seeded RNG *before* any fit runs
+//! (fits never touch the search RNG, so the candidate sequence matches
+//! the original serial scan exactly), fold scores are summed in fold
+//! order per candidate, and the winner is the first candidate whose mean
+//! strictly beats all predecessors — bit-identical to the serial scan at
+//! any thread count.
 
 use exec::rng::{SliceRandom, StdRng};
 
 use crate::data::Dataset;
+use crate::fit_key;
 use crate::linear::SvmRegressor;
 use crate::metrics::accuracy;
 use crate::tree::{DecisionTree, TreeParams};
+
+/// Hyper-parameter searches run (one per `search_*_params` call).
+static SEARCH_RUNS: obs::Counter = obs::Counter::new("ml.search.runs");
+/// `(candidate, fold)` CV tasks scored across all searches.
+static SEARCH_TASKS: obs::Counter = obs::Counter::new("ml.search.tasks");
 
 /// Deterministic k-fold index split.
 ///
@@ -46,11 +60,75 @@ fn subset(data: &Dataset, idx: &[usize]) -> Dataset {
     )
 }
 
+/// Scores every `(candidate, fold)` cell of the CV grid in parallel and
+/// reduces candidate-major: fold scores are summed in fold order and the
+/// first candidate strictly beating all predecessors wins — exactly the
+/// reduction the original serial double loop performed.
+fn grid_search<C: Copy + Sync>(
+    data: &Dataset,
+    splits: &[(Vec<usize>, Vec<usize>)],
+    candidates: &[C],
+    fit_score: impl Fn(&Dataset, &Dataset, C) -> f64 + Sync,
+) -> usize {
+    SEARCH_RUNS.incr();
+    let _span = obs::span("ml.search");
+    // Fold datasets are identical across candidates; materialize once.
+    let folds: Vec<(Dataset, Dataset)> = splits
+        .iter()
+        .map(|(tr, va)| (subset(data, tr), subset(data, va)))
+        .collect();
+    let tasks: Vec<(usize, usize)> = (0..candidates.len())
+        .flat_map(|c| (0..folds.len()).map(move |f| (c, f)))
+        .collect();
+    SEARCH_TASKS.add(tasks.len() as u64);
+    let scores = exec::parallel_map(&tasks, |_, &(c, f)| {
+        let (train, val) = &folds[f];
+        fit_score(train, val, candidates[c])
+    });
+    let mut best = (f64::NEG_INFINITY, 0usize);
+    for (c, chunk) in scores.chunks(folds.len()).enumerate() {
+        // Sum in fold order, then divide — the serial accumulation order.
+        let mut score = 0.0;
+        for s in chunk {
+            score += s;
+        }
+        score /= folds.len() as f64;
+        if score > best.0 {
+            best = (score, c);
+        }
+    }
+    best.1
+}
+
 /// Randomized search over CART stopping parameters for a fixed depth.
 ///
 /// Samples `iters` candidates of `(min_samples_split, max_thresholds)` and
-/// returns the parameters with the best mean CV accuracy.
+/// returns the parameters with the best mean CV accuracy. The CV grid is
+/// sharded over the [`exec`] pool; the winner is bit-identical at any
+/// thread count, and the whole search result is cached when the artifact
+/// cache is enabled.
 pub fn search_tree_params(
+    data: &Dataset,
+    depth: usize,
+    iters: usize,
+    folds: usize,
+    seed: u64,
+) -> TreeParams {
+    if !cache::enabled() {
+        return search_tree_params_impl(data, depth, iters, folds, seed);
+    }
+    let key = fit_key(
+        "ml.search.tree",
+        data,
+        &[depth as u64, iters as u64, folds as u64, seed],
+        &[],
+    );
+    cache::get_or_compute("ml.search.tree", key, || {
+        search_tree_params_impl(data, depth, iters, folds, seed)
+    })
+}
+
+fn search_tree_params_impl(
     data: &Dataset,
     depth: usize,
     iters: usize,
@@ -59,53 +137,60 @@ pub fn search_tree_params(
 ) -> TreeParams {
     let mut rng = StdRng::seed_from_u64(seed);
     let splits = kfold(data.len(), folds, seed);
-    let mut best = (f64::NEG_INFINITY, TreeParams::with_depth(depth));
-    for _ in 0..iters {
-        let candidate = TreeParams {
+    // Draw all candidates up front: fitting never consumes this RNG, so
+    // the sequence matches the original draw-then-fit serial loop.
+    let candidates: Vec<TreeParams> = (0..iters)
+        .map(|_| TreeParams {
             max_depth: depth,
             min_samples_split: *[2usize, 4, 8, 16].choose(&mut rng).unwrap(),
             max_thresholds: *[16usize, 32, 64].choose(&mut rng).unwrap(),
-        };
-        let mut score = 0.0;
-        for (tr, va) in &splits {
-            let train = subset(data, tr);
-            let val = subset(data, va);
-            let tree = DecisionTree::fit(&train, candidate);
-            score += accuracy(val.x.iter().map(|r| tree.predict(r)), val.y.iter().copied());
-        }
-        score /= splits.len() as f64;
-        if score > best.0 {
-            best = (score, candidate);
-        }
-    }
-    best.1
+        })
+        .collect();
+    let win = grid_search(data, &splits, &candidates, |train, val, cand| {
+        let tree = DecisionTree::fit(train, cand);
+        accuracy(val.x.iter().map(|r| tree.predict(r)), val.y.iter().copied())
+    });
+    candidates
+        .get(win)
+        .copied()
+        .unwrap_or(TreeParams::with_depth(depth))
 }
 
 /// Randomized search over SVM-R regularization and epochs.
 ///
-/// Returns `(epochs, l2)` with the best mean CV accuracy.
+/// Returns `(epochs, l2)` with the best mean CV accuracy. Sharded and
+/// cached exactly like [`search_tree_params`].
 pub fn search_svm_params(data: &Dataset, iters: usize, folds: usize, seed: u64) -> (usize, f64) {
+    if !cache::enabled() {
+        return search_svm_params_impl(data, iters, folds, seed);
+    }
+    let key = fit_key(
+        "ml.search.svm",
+        data,
+        &[iters as u64, folds as u64, seed],
+        &[],
+    );
+    cache::get_or_compute("ml.search.svm", key, || {
+        search_svm_params_impl(data, iters, folds, seed)
+    })
+}
+
+fn search_svm_params_impl(data: &Dataset, iters: usize, folds: usize, seed: u64) -> (usize, f64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let splits = kfold(data.len(), folds, seed);
-    let mut best = (f64::NEG_INFINITY, (200usize, 1e-4));
-    for _ in 0..iters {
-        let cand = (
-            *[100usize, 200, 300].choose(&mut rng).unwrap(),
-            *[1e-5, 1e-4, 1e-3, 1e-2].choose(&mut rng).unwrap(),
-        );
-        let mut score = 0.0;
-        for (tr, va) in &splits {
-            let train = subset(data, tr);
-            let val = subset(data, va);
-            let svm = SvmRegressor::fit(&train, cand.0, cand.1);
-            score += accuracy(val.x.iter().map(|r| svm.predict(r)), val.y.iter().copied());
-        }
-        score /= splits.len() as f64;
-        if score > best.0 {
-            best = (score, cand);
-        }
-    }
-    best.1
+    let candidates: Vec<(usize, f64)> = (0..iters)
+        .map(|_| {
+            (
+                *[100usize, 200, 300].choose(&mut rng).unwrap(),
+                *[1e-5, 1e-4, 1e-3, 1e-2].choose(&mut rng).unwrap(),
+            )
+        })
+        .collect();
+    let win = grid_search(data, &splits, &candidates, |train, val, (epochs, l2)| {
+        let svm = SvmRegressor::fit(train, epochs, l2);
+        accuracy(val.x.iter().map(|r| svm.predict(r)), val.y.iter().copied())
+    });
+    candidates.get(win).copied().unwrap_or((200, 1e-4))
 }
 
 #[cfg(test)]

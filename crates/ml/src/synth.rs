@@ -17,11 +17,12 @@
 //!   every algorithm.
 
 use exec::rng::StdRng;
+use serde::{Deserialize, Serialize};
 
 use crate::data::Dataset;
 
 /// The seven benchmark applications of the paper (§III).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Application {
     /// ECG heart-rhythm classification — many features, very noisy.
     Arrhythmia,

@@ -6,6 +6,8 @@
 //! the hardware generators walk [`DecisionTree::nodes`] to emit comparators,
 //! thresholds and class ROMs.
 
+use serde::{Deserialize, Serialize};
+
 use crate::data::Dataset;
 
 /// Trained CART fits (every `fit`/`fit_subset` call).
@@ -38,7 +40,7 @@ pub type HeapSplit = (usize, usize, f64);
 pub type HeapLeaf = (usize, usize, usize);
 
 /// One node of a trained tree.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TreeNode {
     /// Internal decision node: `x[feature] <= threshold` goes left.
     Split {
@@ -59,7 +61,7 @@ pub enum TreeNode {
 }
 
 /// Training hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TreeParams {
     /// Maximum tree depth (paper sweeps 1, 2, 4, 8).
     pub max_depth: usize,
@@ -90,8 +92,16 @@ impl TreeParams {
     }
 }
 
+impl cache::Hashable for TreeParams {
+    fn stable_hash(&self, h: &mut cache::StableHasher) {
+        h.write_usize(self.max_depth);
+        h.write_usize(self.min_samples_split);
+        h.write_usize(self.max_thresholds);
+    }
+}
+
 /// A trained CART classifier.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DecisionTree {
     nodes: Vec<TreeNode>,
     n_classes: usize,
@@ -101,7 +111,20 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// Fits a tree on `data` with `params`. A depth-0 request yields a
     /// single majority-class leaf.
+    ///
+    /// When the artifact cache is enabled, repeated fits on identical
+    /// `(data, params)` return the stored tree instead of re-growing it.
     pub fn fit(data: &Dataset, params: TreeParams) -> Self {
+        if !cache::enabled() {
+            return Self::fit_impl(data, params);
+        }
+        let mut h = cache::StableHasher::new("ml.tree.fit");
+        cache::Hashable::stable_hash(data, &mut h);
+        cache::Hashable::stable_hash(&params, &mut h);
+        cache::get_or_compute("ml.tree.fit", h.finish(), || Self::fit_impl(data, params))
+    }
+
+    fn fit_impl(data: &Dataset, params: TreeParams) -> Self {
         let _span = obs::span("ml.cart.fit");
         let indices: Vec<usize> = (0..data.len()).collect();
         let mut nodes = Vec::new();

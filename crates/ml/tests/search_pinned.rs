@@ -1,0 +1,34 @@
+//! Pins the hyper-parameter search winners so the parallel sharded
+//! implementation stays bit-identical to the original serial scan, at
+//! every thread count.
+//!
+//! The pinned values were captured from the serial implementation before
+//! the `candidate × fold` grid was sharded over the `exec` pool.
+
+use ml::search::{search_svm_params, search_tree_params};
+use ml::synth::Application;
+use ml::tree::TreeParams;
+
+#[test]
+fn winners_match_serial_scan_at_any_thread_count() {
+    let wine = Application::RedWine.generate(7);
+    let har = Application::Har.generate(7);
+    for threads in [1, 4, 8] {
+        let (tree, svm) = exec::with_threads(threads, || {
+            (
+                search_tree_params(&wine, 4, 4, 3, 7),
+                search_svm_params(&har, 3, 3, 7),
+            )
+        });
+        assert_eq!(
+            tree,
+            TreeParams {
+                max_depth: 4,
+                min_samples_split: 16,
+                max_thresholds: 16,
+            },
+            "tree winner drifted at {threads} threads"
+        );
+        assert_eq!(svm, (100, 1e-5), "svm winner drifted at {threads} threads");
+    }
+}

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use pdk::rom::{rom_cost, RomSpec, RomStyle};
 use pdk::{Area, CellLibrary, Delay, Power};
@@ -16,7 +16,7 @@ use pdk::{Area, CellLibrary, Delay, Power};
 use crate::ir::{Module, NetId, Signal};
 
 /// Power-performance-area report for one module in one technology.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Ppa {
     /// Critical combinational path (min clock period / comb latency).
     pub delay: Delay,
@@ -69,6 +69,19 @@ impl Ppa {
 /// assert_eq!(ppa.gate_count, 1);
 /// ```
 pub fn analyze(module: &Module, lib: &CellLibrary) -> Ppa {
+    if !cache::enabled() {
+        return analyze_impl(module, lib);
+    }
+    // Keyed by module content + full library parameters. The Ppa payload
+    // is a handful of floats, so warm runs skip the critical-path walk
+    // over six-figure-gate conventional engines for a tiny disk read.
+    let mut h = cache::StableHasher::new("netlist.ppa");
+    cache::Hashable::stable_hash(module, &mut h);
+    cache::Hashable::stable_hash(&serde::Serialize::to_value(lib), &mut h);
+    cache::get_or_compute("netlist.ppa", h.finish(), || analyze_impl(module, lib))
+}
+
+fn analyze_impl(module: &Module, lib: &CellLibrary) -> Ppa {
     let mut logic_area = Area::ZERO;
     let mut logic_power = Power::ZERO;
     for gate in &module.gates {

@@ -138,9 +138,16 @@ pub fn insert_buffers(module: &Module, limit: usize) -> Module {
                 }
             }
         }
+        // Tie-break on the net id: `readers` is a HashMap, and picking
+        // the first max in iteration order would make the buffer tree
+        // (and thus the module's content hash) vary run to run.
         let mut worst: Option<(NetId, Vec<Reader>)> = None;
         for (net, list) in readers {
-            if list.len() > limit && worst.as_ref().is_none_or(|(_, w)| list.len() > w.len()) {
+            if list.len() > limit
+                && worst
+                    .as_ref()
+                    .is_none_or(|(wn, w)| (list.len(), wn.0) > (w.len(), net.0))
+            {
                 worst = Some((net, list));
             }
         }

@@ -149,7 +149,13 @@ pub fn cumulative_stats() -> OptCumulative {
 /// assert_eq!(m.gate_count(), 0);
 /// ```
 pub fn optimize(module: &Module) -> Module {
-    optimize_with_stats(module).0
+    if !cache::enabled() {
+        return optimize_with_stats(module).0;
+    }
+    // Keyed by the pre-optimization structural hash: a warm run returns
+    // the stored optimized module without running the engine at all.
+    let key = cache::key_for("netlist.opt", module);
+    cache::get_or_compute("netlist.opt", key, || optimize_with_stats(module).0)
 }
 
 /// Like [`optimize`], additionally returning per-call [`OptStats`].

@@ -408,11 +408,35 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    // ASCII fast path: swallow the whole run in one go
+                    // (validating from `pos` to the closing quote per
+                    // character is quadratic over large documents).
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b >= 0x80 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
                 Some(_) => {
-                    // Consume one UTF-8 scalar, not one byte.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().unwrap();
+                    // Multi-byte UTF-8 scalar: decode just this sequence
+                    // (at most four bytes), not the rest of the input.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(window) {
+                        Ok(s) => s.chars().next().unwrap(),
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .unwrap()
+                                .chars()
+                                .next()
+                                .unwrap()
+                        }
+                        Err(_) => return Err(Error::msg("invalid UTF-8 in string")),
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

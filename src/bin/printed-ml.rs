@@ -36,6 +36,7 @@ fn usage() -> &'static str {
        printed-ml sweep     --app <dataset> [--depth N]\n\
        printed-ml variation --app <dataset> [--depth N] [--svm] [--sigmas S1,S2,..]\n\
                             [--trials N] [--rows N] [--seed N]\n\
+       printed-ml cache     stats | clear\n\
      \n\
      ARCH (trees): conv-serial | conv-parallel | bespoke-serial |\n\
                    bespoke-parallel | lookup | lookup-opt | analog\n\
@@ -44,7 +45,13 @@ fn usage() -> &'static str {
      \n\
      Defaults: --depth 4, --arch bespoke-parallel (trees) / bespoke (svm),\n\
                --tech egt, seed 7; variation: --sigmas 0.02,0.05,0.1,0.2,\n\
-               --trials 100, --rows 100."
+               --trials 100, --rows 100.\n\
+     \n\
+     Trained models, optimized netlists and PPA results are memoized in a\n\
+     content-addressed cache (bench/out/cache/ by default; override with\n\
+     PRINTED_ML_CACHE_DIR). Disable per run with --no-cache or\n\
+     PRINTED_ML_NO_CACHE=1; inspect with `cache stats`, wipe with\n\
+     `cache clear`."
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -53,8 +60,8 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            if name == "svm" {
-                flags.insert("svm".to_string(), "true".to_string());
+            if name == "svm" || name == "no-cache" {
+                flags.insert(name.to_string(), "true".to_string());
                 i += 1;
             } else {
                 let value = args
@@ -137,8 +144,47 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
+        "cache" => {
+            // Point at the store without enabling lookups: stats/clear
+            // are administrative and must work even under
+            // PRINTED_ML_NO_CACHE=1.
+            let root = std::env::var("PRINTED_ML_CACHE_DIR")
+                .unwrap_or_else(|_| printed_ml::cache::DEFAULT_DISK_ROOT.to_string());
+            printed_ml::cache::set_disk_root(Some(root.clone().into()));
+            match args.get(1).map(String::as_str) {
+                Some("stats") => {
+                    match printed_ml::cache::disk_stats() {
+                        Some(stats) if !stats.is_empty() => {
+                            println!("{:<20} {:>8} {:>12}", "domain", "entries", "bytes");
+                            let (mut entries, mut bytes) = (0, 0);
+                            for d in &stats {
+                                println!("{:<20} {:>8} {:>12}", d.domain, d.entries, d.bytes);
+                                entries += d.entries;
+                                bytes += d.bytes;
+                            }
+                            println!("{:<20} {:>8} {:>12}", "total", entries, bytes);
+                        }
+                        _ => println!("cache at {root} is empty"),
+                    }
+                    Ok(())
+                }
+                Some("clear") => {
+                    let removed =
+                        printed_ml::cache::clear().map_err(|e| format!("clearing {root}: {e}"))?;
+                    println!("removed {removed} entries from {root}");
+                    Ok(())
+                }
+                other => Err(format!(
+                    "cache takes `stats` or `clear`, got {}",
+                    other.unwrap_or("nothing")
+                )),
+            }
+        }
         "report" | "generate" | "sweep" | "variation" => {
             let flags = parse_flags(&args[1..])?;
+            if !flags.contains_key("no-cache") {
+                printed_ml::cache::enable_default();
+            }
             let app = parse_app(&flags)?;
             let depth: usize = flags
                 .get("depth")

@@ -22,7 +22,10 @@
 //! * [`exec`] — the deterministic parallel execution substrate (work
 //!   pool, seed streams, PRNG) every Monte Carlo sweep runs on;
 //! * [`obs`] — the unified observability layer (span timers, counters,
-//!   gauges and the `obs-report-v1` report every bench binary emits).
+//!   gauges and the `obs-report-v1` report every bench binary emits);
+//! * [`cache`] — the content-addressed artifact cache memoizing trained
+//!   models, optimized netlists and PPA results across runs (opt-in;
+//!   see `docs/caching.md`).
 //!
 //! ## Quickstart
 //!
@@ -43,6 +46,7 @@
 //! the paper.
 
 pub use analog;
+pub use cache;
 pub use exec;
 pub use ml;
 pub use netlist;
