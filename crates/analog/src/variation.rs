@@ -37,12 +37,11 @@ use crate::compile::{CompiledSvmVariation, CompiledTreeVariation};
 ///
 /// `bits` must be at least 1 (a 0-bit code space has no codes to
 /// normalize against; `FeatureQuantizer` already rejects it).
+///
+/// Thin re-export of [`ml::quant::max_code_for_bits`], the single
+/// source of truth for code-space bounds.
 pub fn max_code_for_bits(bits: usize) -> u64 {
-    if bits >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << bits) - 1
-    }
+    ml::quant::max_code_for_bits(bits)
 }
 
 /// Draws one log-normal perturbation factor `exp(sigma * z)`, with `z`

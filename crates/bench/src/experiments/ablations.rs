@@ -50,7 +50,8 @@ pub fn ablation_bitwidth() -> Table {
             let acc = accuracy(
                 test.x.iter().map(|r| qt.predict(&fq.code_row(r))),
                 test.y.iter().copied(),
-            );
+            )
+            .expect("predictions align with test labels");
             let ppa = analyze(&bespoke_parallel(&qt), &lib);
             t.row(vec![
                 app.name().into(),
@@ -232,7 +233,8 @@ pub fn ablation_forest_scaling() -> Table {
         let acc = accuracy(
             test.x.iter().map(|r| qf.predict(&fq.code_row(r))),
             test.y.iter().copied(),
-        );
+        )
+        .expect("predictions align with test labels");
         let module = bespoke_forest(&qf);
         let ppa = analyze(&module, &lib);
         t.row(vec![
@@ -550,7 +552,8 @@ pub fn drift_robustness() -> Table {
             let acc = accuracy(
                 drifted.x.iter().map(|r| qt.predict(&fq.code_row(r))),
                 drifted.y.iter().copied(),
-            );
+            )
+            .expect("predictions align with test labels");
             t.row(vec![app.name().into(), fmt3(drift), fmt3(acc)]);
         }
     }

@@ -130,6 +130,7 @@ pub fn table2() -> Vec<Table> {
         let (train, test) = (s.transform(&train), s.transform(&test));
         let acc = |pred: &mut dyn FnMut(&[f64]) -> usize| {
             accuracy(test.x.iter().map(|r| pred(r)), test.y.iter().copied())
+                .expect("predictions align with test labels")
         };
         for depth in depths() {
             let m = DecisionTree::fit(&train, TreeParams::with_depth(depth));

@@ -1,0 +1,43 @@
+//! Replays the committed corpus: every minimized reproducer under
+//! `crates/check/corpus/` pins a bug class that must stay fixed. A
+//! failure here means a previously-fixed divergence between redundant
+//! engines has come back.
+
+use check::corpus;
+
+#[test]
+fn every_corpus_entry_replays_clean() {
+    let entries = corpus::load_all(&corpus::default_dir()).expect("corpus directory readable");
+    assert!(
+        entries.len() >= 4,
+        "corpus lost its seeded fixtures (found {})",
+        entries.len()
+    );
+    for (path, repro) in &entries {
+        repro
+            .replay()
+            .unwrap_or_else(|e| unreachable!("corpus regression {}: {e}", path.display()));
+    }
+}
+
+#[test]
+fn committed_fixtures_match_the_seeded_generators() {
+    // `--repin-corpus` must be a no-op on a clean tree: the committed
+    // files are byte-identical to what the generator produces today.
+    let entries = corpus::load_all(&corpus::default_dir()).expect("corpus directory readable");
+    for fixture in corpus::seeded_fixtures() {
+        let committed = entries
+            .iter()
+            .find(|(p, _)| {
+                p.file_name()
+                    .is_some_and(|n| n == fixture.file_name().as_str())
+            })
+            .map(|(_, r)| r);
+        assert_eq!(
+            committed,
+            Some(&fixture),
+            "fixture {} drifted from its generator — run `check_fuzz --repin-corpus`",
+            fixture.file_name()
+        );
+    }
+}

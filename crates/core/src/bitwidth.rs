@@ -45,7 +45,8 @@ pub fn choose_tree_width(
             let acc = accuracy(
                 test.x.iter().map(|r| qt.predict(&fq.code_row(r))),
                 test.y.iter().copied(),
-            );
+            )
+            .expect("predictions align with test labels");
             (fq, qt, acc)
         })
         .collect();
@@ -79,7 +80,8 @@ pub fn choose_svm_width(
             let acc = accuracy(
                 test.x.iter().map(|r| qs.predict(&fq.code_row(r))),
                 test.y.iter().copied(),
-            );
+            )
+            .expect("predictions align with test labels");
             (fq, qs, acc)
         })
         .collect();
@@ -128,7 +130,8 @@ mod tests {
             let acc16 = accuracy(
                 test.x.iter().map(|r| qt16.predict(&fq16.code_row(r))),
                 test.y.iter().copied(),
-            );
+            )
+            .unwrap();
             assert!(
                 choice.accuracy >= acc16 - 0.0015,
                 "{}: {} vs {}",

@@ -123,7 +123,8 @@ impl TreeFlow {
         let float_accuracy = accuracy(
             test.x.iter().map(|r| tree.predict(r)),
             test.y.iter().copied(),
-        );
+        )
+        .expect("predictions align with test labels");
         let (fq, qt, choice) = choose_tree_width(&tree, &train, &test);
         TreeFlow {
             app,
@@ -370,7 +371,8 @@ impl SvmFlow {
         let float_accuracy = accuracy(
             test.x.iter().map(|r| svm.predict(r)),
             test.y.iter().copied(),
-        );
+        )
+        .expect("predictions align with test labels");
         let (fq, qs, choice) = choose_svm_width(&svm, &train, &test);
         SvmFlow {
             app,
@@ -621,7 +623,8 @@ impl ForestFlow {
         let accuracy = ml::metrics::accuracy(
             test.x.iter().map(|r| qf.predict(&fq.code_row(r))),
             test.y.iter().copied(),
-        );
+        )
+        .expect("predictions align with test labels");
         ForestFlow {
             app,
             n_trees,

@@ -133,11 +133,13 @@ mod tests {
         let ta = accuracy(
             test.x.iter().map(|r| tree.predict(r)),
             test.y.iter().copied(),
-        );
+        )
+        .unwrap();
         let fa = accuracy(
             test.x.iter().map(|r| forest.predict(r)),
             test.y.iter().copied(),
-        );
+        )
+        .unwrap();
         assert!(fa >= ta - 0.02, "forest {fa} vs tree {ta}");
     }
 

@@ -27,7 +27,7 @@
 //! let data = Application::Har.generate(7);
 //! let (train, test) = data.split(0.7, 42);
 //! let tree = DecisionTree::fit(&train, TreeParams::with_depth(4));
-//! let acc = accuracy(test.x.iter().map(|r| tree.predict(r)), test.y.iter().copied());
+//! let acc = accuracy(test.x.iter().map(|r| tree.predict(r)), test.y.iter().copied()).unwrap();
 //! assert!(acc > 0.9);
 //! ```
 
@@ -65,7 +65,7 @@ pub mod tree;
 pub use data::{Dataset, Standardizer};
 pub use forest::{ForestParams, RandomForest};
 pub use linear::{LogisticRegression, SvmClassifier, SvmRegressor};
-pub use metrics::{accuracy, class_reports, confusion_matrix, macro_f1, ClassReport};
+pub use metrics::{accuracy, class_reports, confusion_matrix, macro_f1, ClassReport, MetricsError};
 pub use mlp::{Mlp, MlpParams};
 pub use opcount::{CountOps, OpCount};
 pub use quant::{FeatureQuantizer, QuantizedSvm, QuantizedTree};

@@ -317,7 +317,7 @@ mod tests {
     fn svm_regressor_excels_on_ordinal_wine() {
         let (train, test) = prepared(Application::RedWine);
         let m = SvmRegressor::fit(&train, 300, 1e-4);
-        let acc = accuracy(test.x.iter().map(|r| m.predict(r)), test.y.iter().copied());
+        let acc = accuracy(test.x.iter().map(|r| m.predict(r)), test.y.iter().copied()).unwrap();
         assert!(acc > 0.40, "SVM-R wine accuracy {acc}");
         assert_eq!(m.weights().len(), 11);
     }
@@ -328,7 +328,7 @@ mod tests {
         // have no ordinal structure for a regressor to exploit.
         let (train, test) = prepared(Application::Pendigits);
         let m = SvmRegressor::fit(&train, 300, 1e-4);
-        let acc = accuracy(test.x.iter().map(|r| m.predict(r)), test.y.iter().copied());
+        let acc = accuracy(test.x.iter().map(|r| m.predict(r)), test.y.iter().copied()).unwrap();
         assert!(
             acc < 0.5,
             "SVM-R pendigits accuracy {acc} unexpectedly high"
@@ -347,7 +347,7 @@ mod tests {
     fn svm_classifier_separates_har() {
         let (train, test) = prepared(Application::Har);
         let m = SvmClassifier::fit(&train, 8, 1e-3, 7);
-        let acc = accuracy(test.x.iter().map(|r| m.predict(r)), test.y.iter().copied());
+        let acc = accuracy(test.x.iter().map(|r| m.predict(r)), test.y.iter().copied()).unwrap();
         assert!(acc > 0.9, "SVM-C HAR accuracy {acc}");
     }
 
@@ -355,7 +355,7 @@ mod tests {
     fn logistic_regression_learns_cardio() {
         let (train, test) = prepared(Application::Cardio);
         let m = LogisticRegression::fit(&train, 300, 0.5);
-        let acc = accuracy(test.x.iter().map(|r| m.predict(r)), test.y.iter().copied());
+        let acc = accuracy(test.x.iter().map(|r| m.predict(r)), test.y.iter().copied()).unwrap();
         assert!(acc > 0.8, "LR cardio accuracy {acc}");
         assert_eq!(m.n_classes(), 3);
         assert_eq!(m.n_features(), 19);

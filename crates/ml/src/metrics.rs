@@ -1,32 +1,86 @@
 //! Evaluation metrics.
 
+/// Why a metric could not be computed.
+///
+/// Carried as data instead of a panic so harnesses that score *generated*
+/// models (the differential fuzzer, hyperparameter search over synthetic
+/// folds) can distinguish "the metric rejected this input" from "two
+/// engines disagree on a valid input".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsError {
+    /// The prediction and label streams have different lengths.
+    LengthMismatch {
+        /// Number of predictions supplied.
+        predictions: usize,
+        /// Number of ground-truth labels supplied.
+        labels: usize,
+    },
+    /// Both streams are empty: accuracy is 0/0.
+    Empty,
+}
+
+impl std::fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricsError::LengthMismatch {
+                predictions,
+                labels,
+            } => write!(
+                f,
+                "length mismatch: {predictions} predictions scored against {labels} labels"
+            ),
+            MetricsError::Empty => write!(f, "accuracy of an empty prediction set is undefined"),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
 /// Fraction of predictions equal to the ground truth.
 ///
-/// # Panics
-/// Panics if the two iterators have different lengths or are empty.
+/// Returns [`MetricsError::LengthMismatch`] when the streams disagree on
+/// length and [`MetricsError::Empty`] when both are empty (0/0 would
+/// otherwise surface as `NaN` and silently poison every downstream
+/// comparison).
 ///
 /// ```
 /// use ml::metrics::accuracy;
-/// let acc = accuracy([0usize, 1, 2].into_iter(), [0usize, 1, 1].into_iter());
+/// let acc = accuracy([0usize, 1, 2].into_iter(), [0usize, 1, 1].into_iter()).unwrap();
 /// assert!((acc - 2.0 / 3.0).abs() < 1e-12);
 /// ```
 pub fn accuracy(
     predictions: impl Iterator<Item = usize>,
     truth: impl Iterator<Item = usize>,
-) -> f64 {
+) -> Result<f64, MetricsError> {
+    let mut preds = predictions;
+    let mut labels = truth;
     let mut correct = 0usize;
     let mut total = 0usize;
-    let mut t = truth;
-    for p in predictions {
-        let Some(actual) = t.next() else {
-            panic!("more predictions than labels")
-        };
-        correct += (p == actual) as usize;
-        total += 1;
+    loop {
+        match (preds.next(), labels.next()) {
+            (Some(p), Some(t)) => {
+                correct += (p == t) as usize;
+                total += 1;
+            }
+            (Some(_), None) => {
+                return Err(MetricsError::LengthMismatch {
+                    predictions: total + 1 + preds.count(),
+                    labels: total,
+                })
+            }
+            (None, Some(_)) => {
+                return Err(MetricsError::LengthMismatch {
+                    predictions: total,
+                    labels: total + 1 + labels.count(),
+                })
+            }
+            (None, None) => break,
+        }
     }
-    assert!(t.next().is_none(), "more labels than predictions");
-    assert!(total > 0, "accuracy of an empty set");
-    correct as f64 / total as f64
+    if total == 0 {
+        return Err(MetricsError::Empty);
+    }
+    Ok(correct as f64 / total as f64)
 }
 
 /// Confusion matrix: `matrix[truth][pred]` counts.
@@ -40,35 +94,6 @@ pub fn confusion_matrix(
         m[t][p] += 1;
     }
     m
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn perfect_and_zero_accuracy() {
-        assert_eq!(
-            accuracy([1usize, 2].into_iter(), [1usize, 2].into_iter()),
-            1.0
-        );
-        assert_eq!(
-            accuracy([0usize, 0].into_iter(), [1usize, 2].into_iter()),
-            0.0
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "more labels")]
-    fn length_mismatch_panics() {
-        accuracy([0usize].into_iter(), [0usize, 1].into_iter());
-    }
-
-    #[test]
-    fn confusion_matrix_diagonal_for_perfect_predictions() {
-        let m = confusion_matrix([0usize, 1, 1].into_iter(), [0usize, 1, 1].into_iter(), 2);
-        assert_eq!(m, vec![vec![1, 0], vec![0, 2]]);
-    }
 }
 
 /// Per-class precision, recall and F1 derived from a confusion matrix.
@@ -130,6 +155,55 @@ pub fn macro_f1(matrix: &[Vec<usize>]) -> f64 {
 }
 
 #[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_zero_accuracy() {
+        assert_eq!(
+            accuracy([1usize, 2].into_iter(), [1usize, 2].into_iter()).unwrap(),
+            1.0
+        );
+        assert_eq!(
+            accuracy([0usize, 0].into_iter(), [1usize, 2].into_iter()).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error_in_both_directions() {
+        assert_eq!(
+            accuracy([0usize].into_iter(), [0usize, 1].into_iter()),
+            Err(MetricsError::LengthMismatch {
+                predictions: 1,
+                labels: 2
+            })
+        );
+        assert_eq!(
+            accuracy([0usize, 1, 2].into_iter(), [0usize].into_iter()),
+            Err(MetricsError::LengthMismatch {
+                predictions: 3,
+                labels: 1
+            })
+        );
+    }
+
+    #[test]
+    fn empty_set_is_an_error_not_a_nan() {
+        // 0/0 must surface as a typed error; a silent NaN would compare
+        // false against every threshold and corrupt model selection.
+        let r = accuracy(std::iter::empty(), std::iter::empty());
+        assert_eq!(r, Err(MetricsError::Empty));
+    }
+
+    #[test]
+    fn confusion_matrix_diagonal_for_perfect_predictions() {
+        let m = confusion_matrix([0usize, 1, 1].into_iter(), [0usize, 1, 1].into_iter(), 2);
+        assert_eq!(m, vec![vec![1, 0], vec![0, 2]]);
+    }
+}
+
+#[cfg(test)]
 mod class_metric_tests {
     use super::*;
 
@@ -150,7 +224,7 @@ mod class_metric_tests {
         let truth = [0usize; 9].into_iter().chain([1usize]);
         let pred = [0usize; 10].into_iter();
         let m = confusion_matrix(pred.clone(), truth.clone(), 2);
-        let acc = accuracy(pred, truth);
+        let acc = accuracy(pred, truth).unwrap();
         assert!(acc >= 0.9);
         assert!(macro_f1(&m) < 0.6, "macro f1 {}", macro_f1(&m));
     }

@@ -235,7 +235,7 @@ mod tests {
         let s = Standardizer::fit(&train);
         let (train, test) = (s.transform(&train), s.transform(&test));
         let m = Mlp::fit(&train, &MlpParams::mlp1());
-        let acc = accuracy(test.x.iter().map(|r| m.predict(r)), test.y.iter().copied());
+        let acc = accuracy(test.x.iter().map(|r| m.predict(r)), test.y.iter().copied()).unwrap();
         assert!(acc > 0.9, "MLP-1 HAR accuracy {acc}");
     }
 

@@ -20,6 +20,20 @@ use crate::data::Dataset;
 use crate::linear::SvmRegressor;
 use crate::tree::{DecisionTree, TreeNode};
 
+/// Largest representable code on a `bits`-wide datapath: `2^bits - 1`,
+/// saturating to `u64::MAX` at `bits >= 64` instead of overflowing the
+/// shift. This is the single source of truth for code-space bounds —
+/// [`FeatureQuantizer::max_code`] and the analog variation engine both
+/// delegate here, so the boundary arithmetic (the PR 8 `1 << 64`
+/// overflow class) lives in exactly one place.
+pub fn max_code_for_bits(bits: usize) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
 /// Per-feature affine quantizer onto `0 ..= 2^bits - 1`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FeatureQuantizer {
@@ -67,7 +81,7 @@ impl FeatureQuantizer {
 
     /// Highest representable code.
     pub fn max_code(&self) -> u64 {
-        (1u64 << self.bits) - 1
+        max_code_for_bits(self.bits)
     }
 
     /// Quantizes one feature value (clamped to the code range).
@@ -405,6 +419,53 @@ mod tests {
     }
 
     #[test]
+    fn max_code_boundary_widths_never_overflow() {
+        // The PR 8 overflow class: `(1u64 << bits) - 1` is UB-adjacent at
+        // bits = 64 and silently wrong beyond. Pin the exact boundary
+        // widths against an independent formulation.
+        for bits in [1usize, 31, 32, 63] {
+            assert_eq!(
+                max_code_for_bits(bits),
+                u64::MAX >> (64 - bits),
+                "width {bits}"
+            );
+        }
+        assert_eq!(max_code_for_bits(1), 1);
+        assert_eq!(max_code_for_bits(31), (1u64 << 31) - 1);
+        assert_eq!(max_code_for_bits(32), u32::MAX as u64);
+        assert_eq!(max_code_for_bits(63), (1u64 << 63) - 1);
+        // At and past the word width the code space saturates.
+        assert_eq!(max_code_for_bits(64), u64::MAX);
+        assert_eq!(max_code_for_bits(65), u64::MAX);
+        // Strictly monotone below saturation.
+        for bits in 1..64usize {
+            assert!(max_code_for_bits(bits) < max_code_for_bits(bits + 1));
+        }
+    }
+
+    #[test]
+    fn quantizer_round_trips_codes_at_every_supported_width() {
+        // Property over the supported 1..=16-bit datapaths: every code is
+        // within `max_code_for_bits`, and re-coding the decoded value
+        // returns the same code (codes are fixed points of code∘decode).
+        let (train, _) = wine();
+        for bits in [1usize, 4, 8, 12, 16] {
+            let fq = FeatureQuantizer::fit(&train, bits);
+            assert_eq!(fq.max_code(), max_code_for_bits(bits), "width {bits}");
+            for row in train.x.iter().take(40) {
+                for (f, &v) in row.iter().enumerate() {
+                    let c = fq.code(f, v);
+                    assert!(c <= max_code_for_bits(bits), "width {bits}");
+                    // Decode through the affine map and re-code: codes
+                    // must be fixed points of code ∘ decode.
+                    let decoded = fq.min_of(f) + c as f64 * fq.step_of(f);
+                    assert_eq!(fq.code(f, decoded), c, "width {bits} feature {f}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn codes_are_in_range_and_monotone() {
         let (train, _) = wine();
         let fq = FeatureQuantizer::fit(&train, 8);
@@ -430,11 +491,13 @@ mod tests {
         let float_acc = accuracy(
             test.x.iter().map(|r| tree.predict(r)),
             test.y.iter().copied(),
-        );
+        )
+        .unwrap();
         let q_acc = accuracy(
             test.x.iter().map(|r| qt.predict(&fq.code_row(r))),
             test.y.iter().copied(),
-        );
+        )
+        .unwrap();
         assert!(
             (float_acc - q_acc).abs() < 0.05,
             "float {float_acc} vs quant {q_acc}"
@@ -454,7 +517,8 @@ mod tests {
             let acc = accuracy(
                 test.x.iter().map(|r| qt.predict(&fq.code_row(r))),
                 test.y.iter().copied(),
-            );
+            )
+            .unwrap();
             assert!(acc > 0.85, "{bits}-bit accuracy {acc}");
         }
     }
@@ -468,11 +532,13 @@ mod tests {
         let float_acc = accuracy(
             test.x.iter().map(|r| svm.predict(r)),
             test.y.iter().copied(),
-        );
+        )
+        .unwrap();
         let q_acc = accuracy(
             test.x.iter().map(|r| qs.predict(&fq.code_row(r))),
             test.y.iter().copied(),
-        );
+        )
+        .unwrap();
         assert!(
             (float_acc - q_acc).abs() < 0.08,
             "float {float_acc} vs quant {q_acc}"

@@ -149,6 +149,7 @@ fn search_tree_params_impl(
     let win = grid_search(data, &splits, &candidates, |train, val, cand| {
         let tree = DecisionTree::fit(train, cand);
         accuracy(val.x.iter().map(|r| tree.predict(r)), val.y.iter().copied())
+            .expect("CV folds are non-empty and aligned")
     });
     candidates
         .get(win)
@@ -189,6 +190,7 @@ fn search_svm_params_impl(data: &Dataset, iters: usize, folds: usize, seed: u64)
     let win = grid_search(data, &splits, &candidates, |train, val, (epochs, l2)| {
         let svm = SvmRegressor::fit(train, epochs, l2);
         accuracy(val.x.iter().map(|r| svm.predict(r)), val.y.iter().copied())
+            .expect("CV folds are non-empty and aligned")
     });
     candidates.get(win).copied().unwrap_or((200, 1e-4))
 }

@@ -506,8 +506,9 @@ mod tests {
         let d = xor_dataset();
         let t1 = DecisionTree::fit(&d, TreeParams::with_depth(1));
         let t2 = DecisionTree::fit(&d, TreeParams::with_depth(2));
-        let acc =
-            |t: &DecisionTree| accuracy(d.x.iter().map(|r| t.predict(r)), d.y.iter().copied());
+        let acc = |t: &DecisionTree| {
+            accuracy(d.x.iter().map(|r| t.predict(r)), d.y.iter().copied()).unwrap()
+        };
         assert!(acc(&t1) < 0.8);
         assert!(acc(&t2) > 0.95, "depth-2 accuracy {}", acc(&t2));
         assert!(t2.depth() <= 2);
@@ -540,7 +541,7 @@ mod tests {
         let d = Application::Cardio.generate(7);
         let acc = |depth| {
             let t = DecisionTree::fit(&d, TreeParams::with_depth(depth));
-            accuracy(d.x.iter().map(|r| t.predict(r)), d.y.iter().copied())
+            accuracy(d.x.iter().map(|r| t.predict(r)), d.y.iter().copied()).unwrap()
         };
         let (a1, a4, a8) = (acc(1), acc(4), acc(8));
         assert!(a4 >= a1 - 1e-9);

@@ -18,6 +18,7 @@
 use std::sync::Arc;
 
 use crate::compile::{CompiledNetlist, WideSim};
+use crate::error::SimError;
 use crate::ir::{Module, NetId};
 
 /// A 64-lane combinational batch simulator.
@@ -47,11 +48,21 @@ impl BatchSimulator {
     /// Compiles a *combinational* module for batch evaluation.
     ///
     /// # Panics
-    /// Panics if the module is sequential or invalid.
+    /// Panics if the module is sequential or invalid. Use
+    /// [`BatchSimulator::try_new`] to handle those as errors.
     pub fn new(module: &Module) -> Self {
-        BatchSimulator {
-            sim: WideSim::new(Arc::new(CompiledNetlist::compile(module))),
+        match Self::try_new(module) {
+            Ok(sim) => sim,
+            Err(e) => e.raise(),
         }
+    }
+
+    /// Fallible constructor: compiles `module`, reporting sequential or
+    /// invalid modules and combinational cycles as [`SimError`].
+    pub fn try_new(module: &Module) -> Result<Self, SimError> {
+        Ok(BatchSimulator {
+            sim: WideSim::new(Arc::new(CompiledNetlist::try_compile(module)?)),
+        })
     }
 
     /// Wraps an already-compiled tape (shared across shards via `Arc`).
@@ -70,8 +81,15 @@ impl BatchSimulator {
     ///
     /// # Panics
     /// Panics if the port does not exist or more than 64 lanes are given.
+    /// Use [`BatchSimulator::try_set_lanes`] to handle those as errors.
     pub fn set_lanes(&mut self, name: &str, lane_values: &[u64]) {
         self.sim.set_lanes(name, lane_values);
+    }
+
+    /// Fallible lane binding: reports unknown ports and over-wide lane
+    /// counts as [`SimError`].
+    pub fn try_set_lanes(&mut self, name: &str, lane_values: &[u64]) -> Result<(), SimError> {
+        self.sim.try_set_lanes(name, lane_values)
     }
 
     /// Transposes a chunk of up to 64 input vectors (one value per input
@@ -82,18 +100,38 @@ impl BatchSimulator {
     ///
     /// # Panics
     /// Panics if more than 64 vectors are given or a vector's arity is
-    /// wrong.
+    /// wrong. Use [`BatchSimulator::try_pack_vectors`] to handle those as
+    /// errors.
     pub fn pack_vectors(&self, chunk: &[Vec<u64>]) -> Vec<u64> {
         self.sim.pack_vectors(chunk).iter().map(|w| w[0]).collect()
+    }
+
+    /// Fallible transpose: reports over-wide chunks and arity mismatches
+    /// as [`SimError`].
+    pub fn try_pack_vectors(&self, chunk: &[Vec<u64>]) -> Result<Vec<u64>, SimError> {
+        Ok(self
+            .sim
+            .try_pack_vectors(chunk)?
+            .iter()
+            .map(|w| w[0])
+            .collect())
     }
 
     /// Loads an input image produced by [`Self::pack_vectors`].
     ///
     /// # Panics
     /// Panics if the image length does not match the module's input bits.
+    /// Use [`BatchSimulator::try_load_packed`] to handle that as an error.
     pub fn load_packed(&mut self, words: &[u64]) {
         let image: Vec<[u64; 1]> = words.iter().map(|&w| [w]).collect();
         self.sim.load_packed(&image);
+    }
+
+    /// Fallible image load: reports a wrong word count as
+    /// [`SimError::ImageLength`].
+    pub fn try_load_packed(&mut self, words: &[u64]) -> Result<(), SimError> {
+        let image: Vec<[u64; 1]> = words.iter().map(|&w| [w]).collect();
+        self.sim.try_load_packed(&image)
     }
 
     /// Pins `net` to a stuck-at constant: every subsequent [`Self::settle`]
@@ -116,8 +154,18 @@ impl BatchSimulator {
     }
 
     /// Reads output port `name` for the first `lanes` lanes.
+    ///
+    /// # Panics
+    /// Panics if the port does not exist. Use
+    /// [`BatchSimulator::try_lanes`] to handle that as an error.
     pub fn lanes(&self, name: &str, lanes: usize) -> Vec<u64> {
         self.sim.lanes(name, lanes)
+    }
+
+    /// Fallible port read: reports an unknown output name as
+    /// [`SimError::UnknownPort`].
+    pub fn try_lanes(&self, name: &str, lanes: usize) -> Result<Vec<u64>, SimError> {
+        self.sim.try_lanes(name, lanes)
     }
 
     /// Lane words of every output-port bit (port-major, bit-minor), masked
@@ -147,6 +195,7 @@ pub mod reference {
 
     use pdk::CellKind;
 
+    use crate::error::SimError;
     use crate::ir::{Module, NetId, Signal};
 
     /// A word with the first `lanes` bits set (`lanes <= 64`).
@@ -184,15 +233,29 @@ pub mod reference {
         /// Levelizes a *combinational* module for interpreted evaluation.
         ///
         /// # Panics
-        /// Panics if the module is sequential or invalid.
+        /// Panics if the module is sequential or invalid. Use
+        /// [`InterpretedSimulator::try_new`] to handle those as errors.
         pub fn new(module: &'m Module) -> Self {
-            assert!(
-                module.is_combinational(),
-                "batch simulation is combinational-only"
-            );
+            match Self::try_new(module) {
+                Ok(sim) => sim,
+                Err(e) => e.raise(),
+            }
+        }
+
+        /// Fallible constructor: reports sequential or invalid modules and
+        /// combinational cycles as [`SimError`].
+        pub fn try_new(module: &'m Module) -> Result<Self, SimError> {
+            if !module.is_combinational() {
+                return Err(SimError::Sequential {
+                    module: module.name.clone(),
+                });
+            }
             module
                 .validate()
-                .expect("batch-simulating an invalid module");
+                .map_err(|reason| SimError::InvalidModule {
+                    module: module.name.clone(),
+                    reason,
+                })?;
             let mut driver: HashMap<NetId, usize> = HashMap::new(); // net -> gate idx
             let mut rom_driver: HashMap<NetId, usize> = HashMap::new();
             for (i, g) in module.gates.iter().enumerate() {
@@ -243,7 +306,12 @@ pub mod reference {
                         let Some(dep) = item_of_net(n) else { continue };
                         match marks[dep] {
                             Mark::Black => {}
-                            Mark::Grey => panic!("combinational cycle in batch simulation"),
+                            Mark::Grey => {
+                                return Err(SimError::CombinationalCycle {
+                                    module: module.name.clone(),
+                                    net: n.index(),
+                                })
+                            }
                             Mark::White => {
                                 marks[dep] = Mark::Grey;
                                 stack.push((dep, 0));
@@ -261,20 +329,21 @@ pub mod reference {
                 }
             }
 
+            // validate() has already rejected constant input-port bits.
             let input_ports: HashMap<String, Vec<NetId>> = module
                 .inputs
                 .iter()
                 .map(|p| {
-                    let nets = p.bits.iter().map(|s| s.net().expect("input bit")).collect();
+                    let nets = p.bits.iter().filter_map(|s| s.net()).collect();
                     (p.name.clone(), nets)
                 })
                 .collect();
             let input_nets = module
                 .inputs
                 .iter()
-                .flat_map(|p| p.bits.iter().map(|s| s.net().expect("input bit")))
+                .flat_map(|p| p.bits.iter().filter_map(|s| s.net()))
                 .collect();
-            InterpretedSimulator {
+            Ok(InterpretedSimulator {
                 module,
                 values: vec![0; module.net_count()],
                 order,
@@ -283,16 +352,30 @@ pub mod reference {
                 input_nets,
                 fault_net: usize::MAX,
                 fault_word: 0,
-            }
+            })
         }
 
         /// Drives input port `name` with up to 64 per-lane values.
         ///
         /// # Panics
         /// Panics if the port does not exist or more than 64 lanes are
-        /// given.
+        /// given. Use [`InterpretedSimulator::try_set_lanes`] to handle
+        /// those as errors.
         pub fn set_lanes(&mut self, name: &str, lane_values: &[u64]) {
-            assert!(lane_values.len() <= 64, "at most 64 lanes");
+            if let Err(e) = self.try_set_lanes(name, lane_values) {
+                e.raise()
+            }
+        }
+
+        /// Fallible lane binding: reports unknown ports and over-wide
+        /// lane counts as [`SimError`].
+        pub fn try_set_lanes(&mut self, name: &str, lane_values: &[u64]) -> Result<(), SimError> {
+            if lane_values.len() > 64 {
+                return Err(SimError::TooManyLanes {
+                    given: lane_values.len(),
+                    max: 64,
+                });
+            }
             // Split borrows: the port map is read while the value array
             // is written, so no clone of the net list is needed.
             let Self {
@@ -300,9 +383,12 @@ pub mod reference {
                 input_ports,
                 ..
             } = self;
-            let nets = input_ports
-                .get(name)
-                .unwrap_or_else(|| panic!("no input port named {name}"));
+            let Some(nets) = input_ports.get(name) else {
+                return Err(SimError::UnknownPort {
+                    direction: "input",
+                    name: name.to_string(),
+                });
+            };
             for (bit, net) in nets.iter().enumerate() {
                 let mut word = 0u64;
                 for (lane, &v) in lane_values.iter().enumerate() {
@@ -312,6 +398,7 @@ pub mod reference {
                 }
                 values[net.index()] = word;
             }
+            Ok(())
         }
 
         /// Transposes up to 64 input vectors into per-input-net lane
@@ -319,11 +406,32 @@ pub mod reference {
         ///
         /// # Panics
         /// Panics if more than 64 vectors are given or a vector's arity
-        /// is wrong.
+        /// is wrong. Use [`InterpretedSimulator::try_pack_vectors`] to
+        /// handle those as errors.
         pub fn pack_vectors(&self, chunk: &[Vec<u64>]) -> Vec<u64> {
-            assert!(chunk.len() <= 64, "at most 64 lanes");
-            for v in chunk {
-                assert_eq!(v.len(), self.module.inputs.len(), "vector arity mismatch");
+            match self.try_pack_vectors(chunk) {
+                Ok(words) => words,
+                Err(e) => e.raise(),
+            }
+        }
+
+        /// Fallible transpose: reports over-wide chunks and arity
+        /// mismatches as [`SimError`].
+        pub fn try_pack_vectors(&self, chunk: &[Vec<u64>]) -> Result<Vec<u64>, SimError> {
+            if chunk.len() > 64 {
+                return Err(SimError::TooManyLanes {
+                    given: chunk.len(),
+                    max: 64,
+                });
+            }
+            for (i, v) in chunk.iter().enumerate() {
+                if v.len() != self.module.inputs.len() {
+                    return Err(SimError::VectorArity {
+                        index: i,
+                        got: v.len(),
+                        want: self.module.inputs.len(),
+                    });
+                }
             }
             let mut words = vec![0u64; self.input_nets.len()];
             let mut base = 0usize;
@@ -338,19 +446,34 @@ pub mod reference {
                 }
                 base += port.width();
             }
-            words
+            Ok(words)
         }
 
         /// Loads an input image produced by [`Self::pack_vectors`].
         ///
         /// # Panics
         /// Panics if the image length does not match the module's input
-        /// bits.
+        /// bits. Use [`InterpretedSimulator::try_load_packed`] to handle
+        /// that as an error.
         pub fn load_packed(&mut self, words: &[u64]) {
-            assert_eq!(words.len(), self.input_nets.len(), "packed image length");
+            if let Err(e) = self.try_load_packed(words) {
+                e.raise()
+            }
+        }
+
+        /// Fallible image load: reports a wrong word count as
+        /// [`SimError::ImageLength`].
+        pub fn try_load_packed(&mut self, words: &[u64]) -> Result<(), SimError> {
+            if words.len() != self.input_nets.len() {
+                return Err(SimError::ImageLength {
+                    got: words.len(),
+                    want: self.input_nets.len(),
+                });
+            }
             for (net, &word) in self.input_nets.iter().zip(words) {
                 self.values[net.index()] = word;
             }
+            Ok(())
         }
 
         /// Pins `net` to a stuck-at constant across all lanes.
@@ -401,12 +524,27 @@ pub mod reference {
         }
 
         /// Reads output port `name` for the first `lanes` lanes.
+        ///
+        /// # Panics
+        /// Panics if the port does not exist. Use
+        /// [`InterpretedSimulator::try_lanes`] to handle that as an error.
         pub fn lanes(&self, name: &str, lanes: usize) -> Vec<u64> {
-            let port = self
-                .module
-                .output(name)
-                .unwrap_or_else(|| panic!("no output port named {name}"));
-            (0..lanes)
+            match self.try_lanes(name, lanes) {
+                Ok(v) => v,
+                Err(e) => e.raise(),
+            }
+        }
+
+        /// Fallible port read: reports an unknown output name as
+        /// [`SimError::UnknownPort`].
+        pub fn try_lanes(&self, name: &str, lanes: usize) -> Result<Vec<u64>, SimError> {
+            let Some(port) = self.module.output(name) else {
+                return Err(SimError::UnknownPort {
+                    direction: "output",
+                    name: name.to_string(),
+                });
+            };
+            Ok((0..lanes)
                 .map(|lane| {
                     let mut v = 0u64;
                     for (bit, sig) in port.bits.iter().enumerate() {
@@ -416,7 +554,7 @@ pub mod reference {
                     }
                     v
                 })
-                .collect()
+                .collect())
         }
 
         /// Lane words of every output-port bit (port-major, bit-minor),

@@ -14,6 +14,7 @@
 use pdk::rom::RomStyle;
 use pdk::CellKind;
 
+use crate::error::SimError;
 use crate::ir::{Gate, Module, NetId, Port, RomInstance, Signal};
 
 /// Incrementally builds a [`Module`].
@@ -383,11 +384,30 @@ impl NetlistBuilder {
     /// # Panics
     /// Panics if the module fails [`Module::validate`]; generators in this
     /// crate never produce invalid modules, so a panic indicates a bug.
+    /// Callers assembling modules from untrusted or randomized input (the
+    /// differential fuzzer's netlist generator, for one) should use
+    /// [`NetlistBuilder::try_finish`] instead.
     pub fn finish(self) -> Module {
-        if let Err(e) = self.module.validate() {
-            panic!("generated module {} is invalid: {e}", self.module.name);
+        match self.try_finish() {
+            Ok(m) => m,
+            Err(SimError::InvalidModule { module, reason }) => {
+                panic!("generated module {module} is invalid: {reason}")
+            }
+            Err(e) => e.raise(),
         }
-        self.module
+    }
+
+    /// Finalizes the module, returning the validation failure (wrapped in
+    /// [`SimError::InvalidModule`]) instead of panicking, so callers can
+    /// report which generator produced the invalid module.
+    pub fn try_finish(self) -> Result<Module, SimError> {
+        match self.module.validate() {
+            Ok(()) => Ok(self.module),
+            Err(reason) => Err(SimError::InvalidModule {
+                module: self.module.name.clone(),
+                reason,
+            }),
+        }
     }
 }
 
@@ -413,6 +433,25 @@ mod tests {
         assert_eq!(w[1], Signal::ONE);
         assert_eq!(w[2], Signal::ZERO);
         assert_eq!(w[3], Signal::ONE);
+    }
+
+    #[test]
+    fn try_finish_reports_validation_errors() {
+        let mut b = NetlistBuilder::new("bad");
+        let dangling = b.fresh_net();
+        b.output("o", &[Signal::Net(dangling)]);
+        match b.try_finish() {
+            Err(SimError::InvalidModule { module, reason }) => {
+                assert_eq!(module, "bad");
+                assert!(!reason.is_empty());
+            }
+            other => panic!("expected InvalidModule, got {other:?}"),
+        }
+
+        let mut b = NetlistBuilder::new("good");
+        let x = b.input("x", 1);
+        b.output("o", &[x[0]]);
+        assert!(b.try_finish().is_ok());
     }
 
     #[test]

@@ -44,6 +44,7 @@ use std::sync::Arc;
 
 use pdk::CellKind;
 
+use crate::error::SimError;
 use crate::ir::{Module, NetId, Port, Signal};
 
 /// Compilations performed (one per [`CompiledNetlist::compile`]).
@@ -206,19 +207,35 @@ impl CompiledNetlist {
     ///
     /// # Panics
     /// Panics if the module is sequential, invalid, or contains a
-    /// combinational cycle.
+    /// combinational cycle. Use [`CompiledNetlist::try_compile`] to
+    /// handle those as errors.
     pub fn compile(module: &Module) -> Self {
+        match Self::try_compile(module) {
+            Ok(c) => c,
+            Err(e) => e.raise(),
+        }
+    }
+
+    /// Fallible compilation: reports sequential or invalid modules and
+    /// combinational cycles as [`SimError`] instead of panicking.
+    pub fn try_compile(module: &Module) -> Result<Self, SimError> {
         let _span = obs::span("netlist.sim.compile");
         COMPILE_NS.time(|| Self::compile_inner(module))
     }
 
-    fn compile_inner(module: &Module) -> Self {
-        assert!(
-            module.is_combinational(),
-            "batch simulation is combinational-only"
-        );
-        module.validate().expect("compiling an invalid module");
-        let (order, rom_order) = levelize(module);
+    fn compile_inner(module: &Module) -> Result<Self, SimError> {
+        if !module.is_combinational() {
+            return Err(SimError::Sequential {
+                module: module.name.clone(),
+            });
+        }
+        module
+            .validate()
+            .map_err(|reason| SimError::InvalidModule {
+                module: module.name.clone(),
+                reason,
+            })?;
+        let (order, rom_order) = levelize(module)?;
 
         let mut ops = Vec::with_capacity(order.len());
         let mut srcs = Vec::with_capacity(order.len());
@@ -363,7 +380,7 @@ impl CompiledNetlist {
 
         COMPILES.incr();
         COMPILED_GATES.add(ops.len() as u64);
-        CompiledNetlist {
+        Ok(CompiledNetlist {
             slots,
             ops,
             srcs,
@@ -377,7 +394,7 @@ impl CompiledNetlist {
             outputs,
             input_slots,
             slot_map: remap,
-        }
+        })
     }
 
     /// Instructions on the tape (compiled combinational gates).
@@ -400,18 +417,23 @@ impl CompiledNetlist {
         self.outputs.iter().map(|p| p.slots.len()).sum()
     }
 
-    fn output_port(&self, name: &str) -> &CompiledPort {
+    fn output_port(&self, name: &str) -> Result<&CompiledPort, SimError> {
         self.outputs
             .iter()
             .find(|p| p.name == name)
-            .unwrap_or_else(|| panic!("no output port named {name}"))
+            .ok_or_else(|| SimError::UnknownPort {
+                direction: "output",
+                name: name.to_string(),
+            })
     }
 }
 
 /// Kahn/DFS levelization shared by the tape compiler: a topological
 /// order of gate indices plus the ROM schedule (`(position, rom)`
 /// pairs; ROMs at position `p` evaluate before the `p`-th ordered gate).
-fn levelize(module: &Module) -> (Vec<usize>, Vec<(usize, usize)>) {
+/// A combinational cycle is reported as [`SimError::CombinationalCycle`].
+#[allow(clippy::type_complexity)]
+fn levelize(module: &Module) -> Result<(Vec<usize>, Vec<(usize, usize)>), SimError> {
     let mut driver: HashMap<NetId, usize> = HashMap::new();
     let mut rom_driver: HashMap<NetId, usize> = HashMap::new();
     for (i, g) in module.gates.iter().enumerate() {
@@ -461,7 +483,12 @@ fn levelize(module: &Module) -> (Vec<usize>, Vec<(usize, usize)>) {
                 let Some(dep) = item_of_net(n) else { continue };
                 match marks[dep] {
                     Mark::Black => {}
-                    Mark::Grey => panic!("combinational cycle in batch simulation"),
+                    Mark::Grey => {
+                        return Err(SimError::CombinationalCycle {
+                            module: module.name.clone(),
+                            net: n.index(),
+                        })
+                    }
                     Mark::White => {
                         marks[dep] = Mark::Grey;
                         stack.push((dep, 0));
@@ -478,7 +505,7 @@ fn levelize(module: &Module) -> (Vec<usize>, Vec<(usize, usize)>) {
             }
         }
     }
-    (order, rom_order)
+    Ok((order, rom_order))
 }
 
 /// Lane-masked word: the first `lanes` bits of word `w` in a `W`-word
@@ -545,25 +572,50 @@ impl<const W: usize> WideSim<W> {
     ///
     /// # Panics
     /// Panics if the port does not exist or more than `64·W` lanes are
-    /// given.
+    /// given. Use [`WideSim::try_set_lanes`] to handle those as errors.
     pub fn set_lanes(&mut self, name: &str, lane_values: &[u64]) {
-        let port_index = self
-            .compiled
-            .inputs
-            .iter()
-            .position(|p| p.name == name)
-            .unwrap_or_else(|| panic!("no input port named {name}"));
-        self.set_port_lanes(port_index, lane_values);
+        if let Err(e) = self.try_set_lanes(name, lane_values) {
+            e.raise()
+        }
+    }
+
+    /// Fallible lane binding: reports unknown ports and over-wide lane
+    /// counts as [`SimError`].
+    pub fn try_set_lanes(&mut self, name: &str, lane_values: &[u64]) -> Result<(), SimError> {
+        let Some(port_index) = self.compiled.inputs.iter().position(|p| p.name == name) else {
+            return Err(SimError::UnknownPort {
+                direction: "input",
+                name: name.to_string(),
+            });
+        };
+        self.try_set_port_lanes(port_index, lane_values)
     }
 
     /// [`Self::set_lanes`] by input-port index (declaration order) —
     /// the hot-loop variant, no name lookup.
+    ///
+    /// # Panics
+    /// Panics if more than `64·W` lanes are given. Use
+    /// [`WideSim::try_set_port_lanes`] to handle that as an error.
     pub fn set_port_lanes(&mut self, port_index: usize, lane_values: &[u64]) {
-        assert!(
-            lane_values.len() <= Self::LANES,
-            "at most {} lanes",
-            Self::LANES
-        );
+        if let Err(e) = self.try_set_port_lanes(port_index, lane_values) {
+            e.raise()
+        }
+    }
+
+    /// Fallible [`Self::set_port_lanes`]: reports an over-wide lane count
+    /// as [`SimError::TooManyLanes`].
+    pub fn try_set_port_lanes(
+        &mut self,
+        port_index: usize,
+        lane_values: &[u64],
+    ) -> Result<(), SimError> {
+        if lane_values.len() > Self::LANES {
+            return Err(SimError::TooManyLanes {
+                given: lane_values.len(),
+                max: Self::LANES,
+            });
+        }
         let compiled = Arc::clone(&self.compiled);
         let port = &compiled.inputs[port_index];
         for (bit, &slot) in port.slots.iter().enumerate() {
@@ -575,6 +627,7 @@ impl<const W: usize> WideSim<W> {
             }
             self.values[slot as usize] = block;
         }
+        Ok(())
     }
 
     /// Transposes a chunk of up to `64·W` input vectors (one value per
@@ -584,11 +637,32 @@ impl<const W: usize> WideSim<W> {
     ///
     /// # Panics
     /// Panics if more than `64·W` vectors are given or a vector's arity
-    /// is wrong.
+    /// is wrong. Use [`WideSim::try_pack_vectors`] to handle those as
+    /// errors.
     pub fn pack_vectors(&self, chunk: &[Vec<u64>]) -> Vec<[u64; W]> {
-        assert!(chunk.len() <= Self::LANES, "at most {} lanes", Self::LANES);
-        for v in chunk {
-            assert_eq!(v.len(), self.compiled.inputs.len(), "vector arity mismatch");
+        match self.try_pack_vectors(chunk) {
+            Ok(image) => image,
+            Err(e) => e.raise(),
+        }
+    }
+
+    /// Fallible transpose: reports over-wide chunks and arity mismatches
+    /// as [`SimError`].
+    pub fn try_pack_vectors(&self, chunk: &[Vec<u64>]) -> Result<Vec<[u64; W]>, SimError> {
+        if chunk.len() > Self::LANES {
+            return Err(SimError::TooManyLanes {
+                given: chunk.len(),
+                max: Self::LANES,
+            });
+        }
+        for (i, v) in chunk.iter().enumerate() {
+            if v.len() != self.compiled.inputs.len() {
+                return Err(SimError::VectorArity {
+                    index: i,
+                    got: v.len(),
+                    want: self.compiled.inputs.len(),
+                });
+            }
         }
         let mut image = vec![[0u64; W]; self.compiled.input_slots.len()];
         let mut base = 0usize;
@@ -603,23 +677,33 @@ impl<const W: usize> WideSim<W> {
             }
             base += port.slots.len();
         }
-        image
+        Ok(image)
     }
 
     /// Loads an input image produced by [`Self::pack_vectors`].
     ///
     /// # Panics
     /// Panics if the image length does not match the module's input
-    /// bits.
+    /// bits. Use [`WideSim::try_load_packed`] to handle that as an error.
     pub fn load_packed(&mut self, image: &[[u64; W]]) {
-        assert_eq!(
-            image.len(),
-            self.compiled.input_slots.len(),
-            "packed image length"
-        );
+        if let Err(e) = self.try_load_packed(image) {
+            e.raise()
+        }
+    }
+
+    /// Fallible image load: reports a wrong block count as
+    /// [`SimError::ImageLength`].
+    pub fn try_load_packed(&mut self, image: &[[u64; W]]) -> Result<(), SimError> {
+        if image.len() != self.compiled.input_slots.len() {
+            return Err(SimError::ImageLength {
+                got: image.len(),
+                want: self.compiled.input_slots.len(),
+            });
+        }
         for (&slot, block) in self.compiled.input_slots.iter().zip(image) {
             self.values[slot as usize] = *block;
         }
+        Ok(())
     }
 
     /// Pins `net` to a stuck-at constant across all lanes: every
@@ -796,9 +880,22 @@ impl<const W: usize> WideSim<W> {
     }
 
     /// Reads output port `name` for the first `lanes` lanes.
+    ///
+    /// # Panics
+    /// Panics if the port does not exist. Use [`WideSim::try_lanes`] to
+    /// handle that as an error.
     pub fn lanes(&self, name: &str, lanes: usize) -> Vec<u64> {
-        let port = self.compiled.output_port(name);
-        (0..lanes)
+        match self.try_lanes(name, lanes) {
+            Ok(v) => v,
+            Err(e) => e.raise(),
+        }
+    }
+
+    /// Fallible port read: reports an unknown output name as
+    /// [`SimError::UnknownPort`].
+    pub fn try_lanes(&self, name: &str, lanes: usize) -> Result<Vec<u64>, SimError> {
+        let port = self.compiled.output_port(name)?;
+        Ok((0..lanes)
             .map(|lane| {
                 let mut v = 0u64;
                 for (bit, &slot) in port.slots.iter().enumerate() {
@@ -808,7 +905,7 @@ impl<const W: usize> WideSim<W> {
                 }
                 v
             })
-            .collect()
+            .collect())
     }
 
     /// Lane words of every output-port bit, flattened port-major,

@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::compile::{record_settles, CompiledNetlist, WideSim};
+use crate::error::SimError;
 use crate::ir::{Module, NetId, Signal};
 
 /// Lane width of the fault-grading shards.
@@ -147,18 +148,35 @@ const SITES_PER_SHARD: usize = 32;
 ///
 /// # Panics
 /// Panics if the module is sequential (run the vectors through your own
-/// clocking harness instead) or a vector's arity is wrong.
+/// clocking harness instead) or a vector's arity is wrong. Use
+/// [`try_coverage`] to handle those as errors.
 pub fn coverage(module: &Module, vectors: &[Vec<u64>]) -> FaultCoverage {
+    match try_coverage(module, vectors) {
+        Ok(c) => c,
+        Err(e) => e.raise(),
+    }
+}
+
+/// Fallible [`coverage`]: reports sequential/invalid modules,
+/// combinational cycles and vector-arity mismatches as [`SimError`].
+pub fn try_coverage(module: &Module, vectors: &[Vec<u64>]) -> Result<FaultCoverage, SimError> {
     let _span = obs::span("netlist.faults.coverage");
-    assert!(
-        module.is_combinational(),
-        "fault coverage supports combinational modules"
-    );
+    if !module.is_combinational() {
+        return Err(SimError::Sequential {
+            module: module.name.clone(),
+        });
+    }
     for (i, v) in vectors.iter().enumerate() {
-        assert_eq!(v.len(), module.inputs.len(), "vector {i} arity mismatch");
+        if v.len() != module.inputs.len() {
+            return Err(SimError::VectorArity {
+                index: i,
+                got: v.len(),
+                want: module.inputs.len(),
+            });
+        }
     }
     // Compile once; every shard below replays the same shared tape.
-    let compiled = Arc::new(CompiledNetlist::compile(module));
+    let compiled = Arc::new(CompiledNetlist::try_compile(module)?);
     // Pack every ≤256-vector chunk once and record the fault-free
     // response image; each fault replays the same images.
     let mut sim: WideSim<FAULT_W> = WideSim::new(Arc::clone(&compiled));
@@ -210,11 +228,11 @@ pub fn coverage(module: &Module, vectors: &[Vec<u64>]) -> FaultCoverage {
         .filter(|&(_, &d)| !d)
         .map(|(&f, _)| f)
         .collect();
-    FaultCoverage {
+    Ok(FaultCoverage {
         total: sites.len(),
         detected,
         undetected,
-    }
+    })
 }
 
 #[cfg(test)]

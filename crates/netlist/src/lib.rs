@@ -44,6 +44,7 @@ pub mod batch;
 pub mod builder;
 pub mod comb;
 pub mod compile;
+pub mod error;
 pub mod fanout;
 pub mod faults;
 pub mod ir;
@@ -59,12 +60,15 @@ pub use analysis::{analyze, Ppa};
 pub use batch::BatchSimulator;
 pub use builder::NetlistBuilder;
 pub use compile::{CompiledNetlist, WideSim};
+pub use error::SimError;
 pub use fanout::{fanout_histogram, insert_buffers, max_fanout};
-pub use faults::{coverage as fault_coverage, Fault, FaultCoverage};
+pub use faults::{
+    coverage as fault_coverage, try_coverage as try_fault_coverage, Fault, FaultCoverage,
+};
 pub use ir::{Gate, Module, NetId, Port, RomInstance, Signal};
 pub use opt::{cumulative_stats, optimize, optimize_with_stats, OptCumulative, OptStats};
 pub use sim::Simulator;
 pub use stats::{logic_levels, max_logic_levels};
 pub use testbench::to_testbench;
-pub use verify::{check_equivalence, miter, Equivalence, MiterError};
+pub use verify::{check_equivalence, miter, Equivalence, MiterError, VerifyError};
 pub use verilog::to_verilog;

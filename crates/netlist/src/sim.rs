@@ -14,6 +14,7 @@ use std::collections::HashMap;
 
 use pdk::CellKind;
 
+use crate::error::SimError;
 use crate::ir::{Module, NetId, Signal};
 
 /// What drives a net.
@@ -67,9 +68,24 @@ impl<'m> Simulator<'m> {
     ///
     /// # Panics
     /// Panics if the module contains a combinational cycle or fails
-    /// validation.
+    /// validation. Use [`Simulator::try_new`] to handle those as errors.
     pub fn new(module: &'m Module) -> Self {
-        module.validate().expect("simulating an invalid module");
+        match Self::try_new(module) {
+            Ok(sim) => sim,
+            Err(e) => e.raise(),
+        }
+    }
+
+    /// Fallible constructor: levelizes `module`, reporting validation
+    /// failures and combinational cycles as [`SimError`] instead of
+    /// panicking.
+    pub fn try_new(module: &'m Module) -> Result<Self, SimError> {
+        module
+            .validate()
+            .map_err(|reason| SimError::InvalidModule {
+                module: module.name.clone(),
+                reason,
+            })?;
         let mut drivers: HashMap<NetId, Driver> = HashMap::new();
         for port in &module.inputs {
             for bit in &port.bits {
@@ -144,11 +160,12 @@ impl<'m> Simulator<'m> {
                     };
                     match mark_of(dep, &gate_marks, &rom_marks) {
                         Mark::Black => {}
-                        Mark::Grey => panic!(
-                            "combinational cycle through net {} in module {}",
-                            n.index(),
-                            module.name
-                        ),
+                        Mark::Grey => {
+                            return Err(SimError::CombinationalCycle {
+                                module: module.name.clone(),
+                                net: n.index(),
+                            })
+                        }
                         Mark::White => {
                             match dep {
                                 EvalItem::Gate(i) => gate_marks[i] = Mark::Grey,
@@ -178,37 +195,46 @@ impl<'m> Simulator<'m> {
             .inputs
             .iter()
             .map(|p| {
-                let nets = p
-                    .bits
-                    .iter()
-                    .map(|s| s.net().expect("input bit is a net"))
-                    .collect();
+                // validate() has already rejected constant input-port bits.
+                let nets = p.bits.iter().filter_map(|s| s.net()).collect();
                 (p.name.clone(), nets)
             })
             .collect();
 
-        Simulator {
+        Ok(Simulator {
             module,
             values: vec![false; module.net_count()],
             state,
             order,
             input_ports,
-        }
+        })
     }
 
     /// Drives input port `name` with the little-endian bits of `value`.
     ///
     /// # Panics
-    /// Panics if the port does not exist.
+    /// Panics if the port does not exist. Use [`Simulator::try_set`] to
+    /// handle the unknown-port case as an error.
     pub fn set(&mut self, name: &str, value: u64) {
-        let nets = self
-            .input_ports
-            .get(name)
-            .unwrap_or_else(|| panic!("no input port named {name}"))
-            .clone();
+        if let Err(e) = self.try_set(name, value) {
+            e.raise()
+        }
+    }
+
+    /// Fallible port binding: drives input port `name`, reporting an
+    /// unknown name as [`SimError::UnknownPort`].
+    pub fn try_set(&mut self, name: &str, value: u64) -> Result<(), SimError> {
+        let Some(nets) = self.input_ports.get(name) else {
+            return Err(SimError::UnknownPort {
+                direction: "input",
+                name: name.to_string(),
+            });
+        };
+        let nets = nets.clone();
         for (i, net) in nets.iter().enumerate() {
             self.values[net.index()] = (value >> i) & 1 == 1;
         }
+        Ok(())
     }
 
     /// Propagates all combinational logic (one levelized pass).
@@ -267,19 +293,31 @@ impl<'m> Simulator<'m> {
     /// Reads output port `name` as a little-endian word.
     ///
     /// # Panics
-    /// Panics if the port does not exist.
+    /// Panics if the port does not exist. Use [`Simulator::try_get`] to
+    /// handle the unknown-port case as an error.
     pub fn get(&self, name: &str) -> u64 {
-        let port = self
-            .module
-            .output(name)
-            .unwrap_or_else(|| panic!("no output port named {name}"));
+        match self.try_get(name) {
+            Ok(v) => v,
+            Err(e) => e.raise(),
+        }
+    }
+
+    /// Fallible port read: reports an unknown output name as
+    /// [`SimError::UnknownPort`].
+    pub fn try_get(&self, name: &str) -> Result<u64, SimError> {
+        let Some(port) = self.module.output(name) else {
+            return Err(SimError::UnknownPort {
+                direction: "output",
+                name: name.to_string(),
+            });
+        };
         let mut v = 0u64;
         for (i, sig) in port.bits.iter().enumerate() {
             if self.read(*sig) {
                 v |= 1 << i;
             }
         }
-        v
+        Ok(v)
     }
 
     /// Reads a single signal's current value.
@@ -439,6 +477,52 @@ mod tests {
             region: 0,
         });
         let _ = Simulator::new(&m);
+    }
+
+    #[test]
+    fn try_apis_report_errors_instead_of_panicking() {
+        use crate::error::SimError;
+        use crate::ir::{Gate, Module, NetId, Signal};
+        use pdk::CellKind;
+        let mut m = Module::new("ring");
+        m.net_count = 2;
+        for (a, b) in [(1u32, 0u32), (0, 1)] {
+            m.gates.push(Gate {
+                kind: CellKind::Inv,
+                inputs: vec![Signal::Net(NetId(a))],
+                output: NetId(b),
+                init: false,
+                region: 0,
+            });
+        }
+        match Simulator::try_new(&m) {
+            Err(SimError::CombinationalCycle { module, .. }) => assert_eq!(module, "ring"),
+            other => panic!("expected a cycle error, got {other:?}"),
+        }
+
+        let mut b = NetlistBuilder::new("ok");
+        let x = b.input("x", 1);
+        let y = b.not(x[0]);
+        b.output("y", &[y]);
+        let m = b.finish();
+        let mut sim = Simulator::try_new(&m).unwrap();
+        assert_eq!(
+            sim.try_set("nope", 1),
+            Err(SimError::UnknownPort {
+                direction: "input",
+                name: "nope".into()
+            })
+        );
+        sim.try_set("x", 0).unwrap();
+        sim.settle();
+        assert_eq!(sim.try_get("y"), Ok(1));
+        assert_eq!(
+            sim.try_get("nope"),
+            Err(SimError::UnknownPort {
+                direction: "output",
+                name: "nope".into()
+            })
+        );
     }
 
     #[test]

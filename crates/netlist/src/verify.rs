@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use crate::builder::NetlistBuilder;
 use crate::compile::{record_settles, CompiledNetlist, WideSim};
+use crate::error::SimError;
 use crate::ir::{Module, Signal};
 
 /// Lane width of the verification shards (one `WideSim<VERIFY_W>` per
@@ -92,6 +93,42 @@ impl fmt::Display for MiterError {
 }
 
 impl std::error::Error for MiterError {}
+
+/// Why an equivalence check could not produce a verdict: either the two
+/// modules present incompatible interfaces ([`MiterError`]) or the miter
+/// could not be simulated ([`SimError`] — e.g. a combinational cycle in
+/// one of the inputs). Both propagate as errors instead of aborting so
+/// differential harnesses can classify rejected inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The miter could not be built.
+    Miter(MiterError),
+    /// The miter could not be compiled or simulated.
+    Sim(SimError),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Miter(e) => e.fmt(f),
+            VerifyError::Sim(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<MiterError> for VerifyError {
+    fn from(e: MiterError) -> Self {
+        VerifyError::Miter(e)
+    }
+}
+
+impl From<SimError> for VerifyError {
+    fn from(e: SimError) -> Self {
+        VerifyError::Sim(e)
+    }
+}
 
 /// Outcome of an equivalence check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -299,13 +336,15 @@ impl LaneBuffer {
 /// sampling (with a note on stderr).
 ///
 /// # Errors
-/// Returns a [`MiterError`] when the two modules' port shapes differ.
+/// Returns [`VerifyError::Miter`] when the two modules' port shapes
+/// differ and [`VerifyError::Sim`] when the miter cannot be compiled
+/// (e.g. a combinational cycle in one of the inputs).
 pub fn check_equivalence(
     a: &Module,
     b: &Module,
     exhaustive_limit: u32,
     samples: usize,
-) -> Result<Equivalence, MiterError> {
+) -> Result<Equivalence, VerifyError> {
     let _span = obs::span("netlist.verify.equivalence");
     let result = check_equivalence_inner(a, b, exhaustive_limit, samples);
     if let Ok(eq) = &result {
@@ -320,12 +359,12 @@ fn check_equivalence_inner(
     b: &Module,
     exhaustive_limit: u32,
     samples: usize,
-) -> Result<Equivalence, MiterError> {
+) -> Result<Equivalence, VerifyError> {
     let m = miter(a, b)?;
     let total_bits: u32 = m.inputs.iter().map(|p| p.width() as u32).sum();
 
     // One compilation, shared by every shard below.
-    let compiled = Arc::new(CompiledNetlist::compile(&m));
+    let compiled = Arc::new(CompiledNetlist::try_compile(&m)?);
     if total_bits < 64 && total_bits <= exhaustive_limit {
         Ok(prove_exhaustive(&compiled, total_bits))
     } else {

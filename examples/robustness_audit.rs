@@ -66,7 +66,8 @@ fn main() {
                 .iter()
                 .map(|r| flow.qt.predict(&flow.fq.code_row(r))),
             drifted.y.iter().copied(),
-        );
+        )
+        .unwrap();
         println!("   drift {drift:>4.2} sigma: accuracy {acc:.3}");
     }
 

@@ -38,7 +38,8 @@ fn drift_degrades_accuracy_monotonically_on_gasid() {
                 .iter()
                 .map(|r| flow.qt.predict(&flow.fq.code_row(r))),
             drifted.y.iter().copied(),
-        );
+        )
+        .unwrap();
         assert!(
             acc <= prev + 0.02,
             "drift {drift}: accuracy rose {prev} -> {acc}"
